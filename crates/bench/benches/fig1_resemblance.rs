@@ -1,0 +1,44 @@
+//! Figure 1: handprint-based super-chunk resemblance detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_core::Handprint;
+use sigma_hashkit::{Digest, Fingerprint, Sha1};
+use sigma_simulation::experiments::fig1;
+
+fn report() {
+    sigma_bench::banner(
+        "Figure 1",
+        "estimated vs. real super-chunk resemblance as a function of handprint size",
+    );
+    let rows = fig1::run(fig1::Fig1Params::default());
+    sigma_bench::print_table(
+        "8 MB super-chunk pairs, TTTD 1K/2K/4K/32K chunking",
+        &fig1::render(&rows),
+    );
+    println!(
+        "estimates converge toward the real resemblance: {}",
+        fig1::estimates_converge(&rows)
+    );
+}
+
+fn bench_handprint(c: &mut Criterion) {
+    report();
+    let fingerprints: Vec<Fingerprint> = (0..2048u64)
+        .map(|i| Sha1::fingerprint(&i.to_le_bytes()))
+        .collect();
+    c.bench_function("fig1/handprint_of_2048_fingerprints_k8", |b| {
+        b.iter(|| Handprint::from_fingerprints(fingerprints.iter().copied(), 8))
+    });
+    let a = Handprint::from_fingerprints(fingerprints.iter().copied(), 64);
+    let b_hp = Handprint::from_fingerprints(fingerprints.iter().skip(512).copied(), 64);
+    c.bench_function("fig1/resemblance_estimate_k64", |b| {
+        b.iter(|| a.estimate_resemblance(&b_hp))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_handprint
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4(b): parallel similarity-index lookup vs. lock striping granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_hashkit::{Digest, Sha1};
+use sigma_simulation::experiments::fig4b;
+use sigma_storage::{ContainerId, SimilarityIndex};
+
+fn report() {
+    sigma_bench::banner(
+        "Figure 4(b)",
+        "parallel similarity-index lookup throughput vs. number of locks",
+    );
+    let rows = fig4b::run(&fig4b::Fig4bParams {
+        preload_entries: 100_000,
+        lookups_per_stream: 200_000,
+        lock_counts: vec![1, 4, 16, 64, 256, 1024, 4096, 16384, 65536],
+        stream_counts: vec![1, 2, 4, 8, 16],
+    });
+    sigma_bench::print_table("aggregate similarity-index lookups per second", &fig4b::render(&rows));
+}
+
+fn bench_index_lookup(c: &mut Criterion) {
+    report();
+    let index = SimilarityIndex::new(1024);
+    let keys: Vec<_> = (0..10_000u64)
+        .map(|i| Sha1::fingerprint(&i.to_le_bytes()))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        index.insert(*key, ContainerId::new(i as u64));
+    }
+    c.bench_function("fig4b/similarity_index_lookup_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(index.lookup(&keys[i]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_index_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 6: cluster deduplication ratio vs. handprint size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_core::Handprint;
+use sigma_hashkit::{Digest, Fingerprint, Sha1};
+use sigma_simulation::experiments::fig6;
+use sigma_workloads::Scale;
+
+fn report() {
+    sigma_bench::banner(
+        "Figure 6",
+        "cluster deduplication ratio (normalized to single-node exact dedup) vs. handprint size",
+    );
+    let rows = fig6::run(&fig6::Fig6Params {
+        scale: Scale::Small,
+        cluster_sizes: vec![4, 16, 64, 128],
+        handprint_sizes: vec![1, 2, 4, 8, 16, 32, 64],
+    });
+    sigma_bench::print_table(
+        "Linux-like workload, 1 MB super-chunks",
+        &fig6::render(&rows),
+    );
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    report();
+    let fingerprints: Vec<Fingerprint> = (0..256u64)
+        .map(|i| Sha1::fingerprint(&i.to_le_bytes()))
+        .collect();
+    for k in [1usize, 8, 64] {
+        let handprint = Handprint::from_fingerprints(fingerprints.iter().copied(), k);
+        c.bench_function(&format!("fig6/candidate_nodes_128_k{}", k), |b| {
+            b.iter(|| handprint.candidate_nodes(128))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_candidate_selection
+}
+criterion_main!(benches);

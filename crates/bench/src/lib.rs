@@ -1,0 +1,36 @@
+//! Shared helpers for the Σ-Dedupe benchmark harness.
+//!
+//! Each bench target in `benches/` reproduces one table or figure of the paper: it
+//! first runs the corresponding experiment from `sigma_simulation::experiments` at a
+//! reporting scale and prints the resulting rows (the "figure"), then registers a
+//! small Criterion micro-benchmark of the core operation that the figure exercises,
+//! so `cargo bench` also yields stable timing numbers for regression tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a banner identifying which table/figure of the paper a bench reproduces.
+pub fn banner(experiment: &str, description: &str) {
+    println!();
+    println!("================================================================================");
+    println!("{experiment} — {description}");
+    println!("  (reproduction of \"A Scalable Inline Cluster Deduplication Framework for");
+    println!("   Big Data Protection\", Fu et al., MIDDLEWARE 2012)");
+    println!("================================================================================");
+}
+
+/// Prints a rendered experiment table under a short caption.
+pub fn print_table(caption: &str, table: &str) {
+    println!();
+    println!("--- {caption} ---");
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_does_not_panic() {
+        super::banner("Figure 0", "smoke test");
+        super::print_table("caption", "a  b\n1  2\n");
+    }
+}

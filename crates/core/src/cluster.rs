@@ -1,0 +1,444 @@
+//! The deduplication server cluster.
+//!
+//! [`DedupCluster`] wires together N [`DedupNode`]s, a [`DataRouter`] and a
+//! [`Director`], and accounts for the fingerprint-lookup messages the routing and
+//! deduplication process generates — the overhead metric of Figure 7.
+
+use crate::{
+    DataRouter, DedupNode, Director, FileId, Handprint, NodeStats, Result, RoutingContext,
+    SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkReceipt,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fingerprint-lookup message counters (the paper's system-overhead metric).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Lookups sent to candidate nodes before routing (representative fingerprints).
+    pub prerouting_lookups: u64,
+    /// Lookups sent to the target node after routing (one per chunk fingerprint in
+    /// the batched duplicate-or-unique query).
+    pub postrouting_lookups: u64,
+    /// Remote nodes contacted by pre-routing queries.
+    pub nodes_contacted: u64,
+    /// Super-chunks routed.
+    pub super_chunks_routed: u64,
+}
+
+impl MessageStats {
+    /// Total fingerprint-lookup messages.
+    pub fn total_lookups(&self) -> u64 {
+        self.prerouting_lookups + self.postrouting_lookups
+    }
+}
+
+/// Cluster-wide statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClusterStats {
+    /// Name of the routing scheme in use.
+    pub router: String,
+    /// Number of deduplication nodes.
+    pub node_count: usize,
+    /// Logical bytes backed up across the cluster.
+    pub logical_bytes: u64,
+    /// Physical bytes stored across the cluster.
+    pub physical_bytes: u64,
+    /// Cluster-wide deduplication ratio (logical / physical).
+    pub dedup_ratio: f64,
+    /// Physical storage usage per node.
+    pub node_usage: Vec<u64>,
+    /// Standard deviation of per-node storage usage divided by its mean
+    /// (the load-imbalance term of the paper's "effective deduplication ratio").
+    pub usage_skew: f64,
+    /// Message counters.
+    pub messages: MessageStats,
+    /// Per-node statistics.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl ClusterStats {
+    /// The paper's *effective deduplication ratio*: the cluster deduplication ratio
+    /// divided by `1 + skew`.  Normalising it by a single-node exact-deduplication
+    /// ratio yields the EDR curves of Figure 8.
+    pub fn effective_dedup_ratio(&self) -> f64 {
+        self.dedup_ratio / (1.0 + self.usage_skew)
+    }
+}
+
+/// A cluster of deduplication nodes behind a data-routing scheme.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::{DedupCluster, SigmaConfig, SuperChunk};
+/// use sigma_hashkit::FingerprintAlgorithm;
+///
+/// let cluster = DedupCluster::with_similarity_router(4, SigmaConfig::default());
+/// let chunks: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 4096]).collect();
+/// let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, chunks);
+/// let receipt = cluster.backup_super_chunk(0, &sc, None).unwrap();
+/// assert_eq!(receipt.unique_chunks, 16);
+/// let stats = cluster.stats();
+/// assert_eq!(stats.logical_bytes, 16 * 4096);
+/// ```
+pub struct DedupCluster {
+    config: SigmaConfig,
+    nodes: Vec<Arc<DedupNode>>,
+    router: Box<dyn DataRouter>,
+    director: Director,
+    prerouting_lookups: AtomicU64,
+    postrouting_lookups: AtomicU64,
+    nodes_contacted: AtomicU64,
+    super_chunks_routed: AtomicU64,
+}
+
+impl std::fmt::Debug for DedupCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupCluster")
+            .field("nodes", &self.nodes.len())
+            .field("router", &self.router.name())
+            .finish()
+    }
+}
+
+impl DedupCluster {
+    /// Creates a cluster of `node_count` nodes using the given routing scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(node_count: usize, config: SigmaConfig, router: Box<dyn DataRouter>) -> Self {
+        assert!(node_count > 0, "cluster must have at least one node");
+        let nodes = (0..node_count)
+            .map(|i| Arc::new(DedupNode::new(i, &config)))
+            .collect();
+        DedupCluster {
+            config,
+            nodes,
+            router,
+            director: Director::new(),
+            prerouting_lookups: AtomicU64::new(0),
+            postrouting_lookups: AtomicU64::new(0),
+            nodes_contacted: AtomicU64::new(0),
+            super_chunks_routed: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cluster using Σ-Dedupe's similarity-based stateful router.
+    pub fn with_similarity_router(node_count: usize, config: SigmaConfig) -> Self {
+        let balancing = config.capacity_balancing;
+        DedupCluster::new(
+            node_count,
+            config,
+            Box::new(SimilarityRouter::new(balancing)),
+        )
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SigmaConfig {
+        &self.config
+    }
+
+    /// Number of deduplication nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The deduplication nodes.
+    pub fn nodes(&self) -> &[Arc<DedupNode>] {
+        &self.nodes
+    }
+
+    /// The routing scheme's name.
+    pub fn router_name(&self) -> String {
+        self.router.name()
+    }
+
+    /// The director (metadata service).
+    pub fn director(&self) -> &Director {
+        &self.director
+    }
+
+    /// Routes and deduplicates one super-chunk arriving from client stream `stream`.
+    ///
+    /// `file_id` carries file-boundary information when available; file-similarity
+    /// routing schemes require it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::FileBoundariesRequired`] if the router needs a file ID
+    /// and none was given, or a storage error if a unique chunk cannot be stored.
+    pub fn backup_super_chunk(
+        &self,
+        stream: u64,
+        super_chunk: &SuperChunk,
+        file_id: Option<u64>,
+    ) -> Result<SuperChunkReceipt> {
+        if super_chunk.is_empty() {
+            return Ok(SuperChunkReceipt::default());
+        }
+        if self.router.requires_file_boundaries() && file_id.is_none() {
+            return Err(SigmaError::FileBoundariesRequired {
+                router: self.router.name(),
+            });
+        }
+        let handprint = super_chunk.handprint(self.config.handprint_size);
+        let decision = self.router.route(&RoutingContext {
+            super_chunk,
+            handprint: &handprint,
+            file_id,
+            nodes: &self.nodes,
+        });
+
+        self.prerouting_lookups
+            .fetch_add(decision.prerouting_lookup_messages, Ordering::Relaxed);
+        self.nodes_contacted
+            .fetch_add(decision.nodes_contacted, Ordering::Relaxed);
+        // The batched duplicate-or-unique query at the target costs one fingerprint
+        // lookup per chunk (source deduplication, Section 3.1).
+        self.postrouting_lookups
+            .fetch_add(super_chunk.chunk_count() as u64, Ordering::Relaxed);
+        self.super_chunks_routed.fetch_add(1, Ordering::Relaxed);
+
+        self.nodes[decision.target].process_super_chunk(stream, super_chunk, &handprint)
+    }
+
+    /// Routes and deduplicates one super-chunk, also returning the target node.
+    ///
+    /// This is the variant backup clients use so they can record chunk→node mappings
+    /// in file recipes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`backup_super_chunk`](DedupCluster::backup_super_chunk).
+    pub fn backup_super_chunk_with_target(
+        &self,
+        stream: u64,
+        super_chunk: &SuperChunk,
+        file_id: Option<u64>,
+    ) -> Result<(SuperChunkReceipt, usize)> {
+        let receipt = self.backup_super_chunk(stream, super_chunk, file_id)?;
+        Ok((receipt, receipt.node_id))
+    }
+
+    /// Reads one chunk back from the node that stores it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SigmaError::ChunkMissing`] / [`SigmaError::PayloadUnavailable`]
+    /// from the node.
+    pub fn read_chunk(&self, node: usize, fingerprint: &sigma_hashkit::Fingerprint) -> Result<Vec<u8>> {
+        self.nodes
+            .get(node)
+            .ok_or(SigmaError::ChunkMissing {
+                node,
+                fingerprint: fingerprint.to_string(),
+            })?
+            .read_chunk(fingerprint)
+    }
+
+    /// Reconstructs a previously backed-up file from its recipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::FileNotFound`] for unknown file IDs and propagates chunk
+    /// read errors.
+    pub fn restore_file(&self, file_id: FileId) -> Result<Vec<u8>> {
+        let recipe = self
+            .director
+            .recipe(file_id)
+            .ok_or(SigmaError::FileNotFound(file_id))?;
+        let mut out = Vec::with_capacity(recipe.size as usize);
+        for entry in &recipe.chunks {
+            let data = self.read_chunk(entry.node, &entry.fingerprint)?;
+            out.extend_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    /// Seals all open containers on every node (end of a backup session).
+    pub fn flush(&self) {
+        for node in &self.nodes {
+            node.flush();
+        }
+    }
+
+    /// Resolves a handprint's resemblance on every node — exposed for experiments
+    /// that need a global view (not used by the routing protocol itself).
+    pub fn resemblance_by_node(&self, handprint: &Handprint) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .map(|n| n.resemblance_count(handprint))
+            .collect()
+    }
+
+    /// Message counters so far.
+    pub fn message_stats(&self) -> MessageStats {
+        MessageStats {
+            prerouting_lookups: self.prerouting_lookups.load(Ordering::Relaxed),
+            postrouting_lookups: self.postrouting_lookups.load(Ordering::Relaxed),
+            nodes_contacted: self.nodes_contacted.load(Ordering::Relaxed),
+            super_chunks_routed: self.super_chunks_routed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cluster-wide statistics snapshot.
+    pub fn stats(&self) -> ClusterStats {
+        let nodes: Vec<NodeStats> = self.nodes.iter().map(|n| n.stats()).collect();
+        let logical: u64 = nodes.iter().map(|n| n.logical_bytes).sum();
+        let physical: u64 = nodes.iter().map(|n| n.physical_bytes).sum();
+        let usage: Vec<u64> = nodes.iter().map(|n| n.physical_bytes).collect();
+        let dedup_ratio = if physical == 0 {
+            1.0
+        } else {
+            logical as f64 / physical as f64
+        };
+        ClusterStats {
+            router: self.router.name(),
+            node_count: self.nodes.len(),
+            logical_bytes: logical,
+            physical_bytes: physical,
+            dedup_ratio,
+            usage_skew: usage_skew(&usage),
+            node_usage: usage,
+            messages: self.message_stats(),
+            nodes,
+        }
+    }
+}
+
+/// Standard deviation of per-node storage usage divided by the mean usage
+/// (0 when the mean is zero).
+pub(crate) fn usage_skew(usage: &[u64]) -> f64 {
+    if usage.is_empty() {
+        return 0.0;
+    }
+    let mean = usage.iter().map(|&u| u as f64).sum::<f64>() / usage.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let variance = usage
+        .iter()
+        .map(|&u| {
+            let d = u as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / usage.len() as f64;
+    variance.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkDescriptor;
+    use sigma_hashkit::{Digest, FingerprintAlgorithm, Sha1};
+
+    fn super_chunk(ids: std::ops::Range<u64>) -> SuperChunk {
+        SuperChunk::from_descriptors(
+            0,
+            ids.map(|i| ChunkDescriptor::new(Sha1::fingerprint(&i.to_le_bytes()), 4096))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn skew_is_zero_for_balanced_usage() {
+        assert_eq!(usage_skew(&[]), 0.0);
+        assert_eq!(usage_skew(&[0, 0, 0]), 0.0);
+        assert!(usage_skew(&[100, 100, 100, 100]).abs() < 1e-12);
+        assert!(usage_skew(&[100, 0, 100, 0]) > 0.9);
+    }
+
+    #[test]
+    fn cluster_backup_accounts_messages() {
+        let cluster = DedupCluster::with_similarity_router(8, SigmaConfig::default());
+        let sc = super_chunk(0..256);
+        cluster.backup_super_chunk(0, &sc, None).unwrap();
+        let m = cluster.message_stats();
+        assert_eq!(m.super_chunks_routed, 1);
+        assert_eq!(m.postrouting_lookups, 256);
+        // Pre-routing lookups = candidates * handprint size <= 8 * 8.
+        assert!(m.prerouting_lookups > 0 && m.prerouting_lookups <= 64);
+        assert!(m.total_lookups() >= 256);
+    }
+
+    #[test]
+    fn duplicate_data_is_not_stored_twice_cluster_wide() {
+        let cluster = DedupCluster::with_similarity_router(4, SigmaConfig::default());
+        let sc = super_chunk(0..256);
+        cluster.backup_super_chunk(0, &sc, None).unwrap();
+        cluster.backup_super_chunk(0, &sc, None).unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.logical_bytes, 2 * 256 * 4096);
+        assert_eq!(stats.physical_bytes, 256 * 4096);
+        assert!((stats.dedup_ratio - 2.0).abs() < 1e-9);
+        assert!(stats.effective_dedup_ratio() <= stats.dedup_ratio);
+    }
+
+    #[test]
+    fn empty_super_chunk_is_a_no_op() {
+        let cluster = DedupCluster::with_similarity_router(2, SigmaConfig::default());
+        let sc = SuperChunk::from_descriptors(0, Vec::new());
+        let r = cluster.backup_super_chunk(0, &sc, None).unwrap();
+        assert_eq!(r.total_chunks(), 0);
+        assert_eq!(cluster.message_stats().super_chunks_routed, 0);
+    }
+
+    #[test]
+    fn restore_of_unknown_file_fails() {
+        let cluster = DedupCluster::with_similarity_router(2, SigmaConfig::default());
+        assert!(matches!(
+            cluster.restore_file(7),
+            Err(SigmaError::FileNotFound(7))
+        ));
+    }
+
+    #[test]
+    fn payload_super_chunks_round_trip_through_read_chunk() {
+        let cluster = DedupCluster::with_similarity_router(4, SigmaConfig::default());
+        let chunks: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 2048]).collect();
+        let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, chunks.clone());
+        let (receipt, node) = cluster
+            .backup_super_chunk_with_target(0, &sc, None)
+            .unwrap();
+        assert_eq!(receipt.unique_chunks, 8);
+        cluster.flush();
+        for (i, d) in sc.descriptors().iter().enumerate() {
+            assert_eq!(
+                cluster.read_chunk(node, &d.fingerprint).unwrap(),
+                chunks[i]
+            );
+        }
+    }
+
+    #[test]
+    fn resemblance_by_node_sees_routed_data() {
+        let cluster = DedupCluster::with_similarity_router(4, SigmaConfig::default());
+        let sc = super_chunk(0..256);
+        let hp = sc.handprint(8);
+        let before = cluster.resemblance_by_node(&hp);
+        assert!(before.iter().all(|&r| r == 0));
+        cluster.backup_super_chunk(0, &sc, None).unwrap();
+        let after = cluster.resemblance_by_node(&hp);
+        assert_eq!(after.iter().filter(|&&r| r > 0).count(), 1);
+    }
+
+    #[test]
+    fn node_usage_reported_per_node() {
+        let cluster = DedupCluster::with_similarity_router(4, SigmaConfig::default());
+        for g in 0..8u64 {
+            let sc = super_chunk(g * 1000..g * 1000 + 64);
+            cluster.backup_super_chunk(0, &sc, None).unwrap();
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.node_usage.len(), 4);
+        assert_eq!(
+            stats.node_usage.iter().sum::<u64>(),
+            stats.physical_bytes
+        );
+        assert_eq!(stats.node_count, 4);
+        assert_eq!(stats.router, "sigma");
+    }
+}

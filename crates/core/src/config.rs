@@ -1,0 +1,279 @@
+//! Configuration of the Σ-Dedupe framework.
+
+use crate::SigmaError;
+use serde::{Deserialize, Serialize};
+use sigma_chunking::ChunkerParams;
+use sigma_hashkit::FingerprintAlgorithm;
+
+/// Tunable parameters of backup clients, deduplication nodes and the cluster.
+///
+/// The defaults reproduce the configuration the paper converges on in Section 4:
+/// 4 KB static chunking, SHA-1 fingerprints, 1 MB super-chunks, handprints of 8
+/// representative fingerprints (a 1/32 sampling rate), 4 MB containers and a
+/// 1024-way striped similarity index.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::SigmaConfig;
+///
+/// let config = SigmaConfig::builder()
+///     .super_chunk_size(2 << 20)
+///     .handprint_size(16)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.handprint_size, 16);
+/// assert_eq!(config.sampling_rate_denominator(), (2 << 20) / 4096 / 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SigmaConfig {
+    /// Target super-chunk size in bytes (the routing granularity). Default: 1 MB.
+    pub super_chunk_size: usize,
+    /// Handprint size k: number of representative fingerprints per super-chunk.
+    /// Default: 8.
+    pub handprint_size: usize,
+    /// Chunking algorithm and chunk-size parameters. Default: static 4 KB.
+    pub chunker: ChunkerParams,
+    /// Chunk fingerprinting hash. Default: SHA-1.
+    pub fingerprint_algorithm: FingerprintAlgorithm,
+    /// Container data-section capacity in bytes. Default: 4 MB.
+    pub container_capacity: usize,
+    /// Chunk-fingerprint cache capacity, in containers. Default: 512.
+    pub cache_containers: usize,
+    /// Number of lock stripes protecting the similarity index. Default: 1024.
+    pub similarity_index_locks: usize,
+    /// Whether a node may fall back to the traditional on-disk chunk index when a
+    /// fingerprint misses in the cache (near-exact intra-node deduplication).
+    /// Disabling it yields the similarity-index-only approximate mode of Fig. 5(b).
+    /// Default: `true`.
+    pub chunk_index_fallback: bool,
+    /// Whether the similarity router discounts resemblance by relative storage usage
+    /// (step 3 of Algorithm 1). Default: `true`.
+    pub capacity_balancing: bool,
+}
+
+impl Default for SigmaConfig {
+    fn default() -> Self {
+        SigmaConfig {
+            super_chunk_size: 1 << 20,
+            handprint_size: 8,
+            chunker: ChunkerParams::paper_default(),
+            fingerprint_algorithm: FingerprintAlgorithm::Sha1,
+            container_capacity: 4 << 20,
+            cache_containers: 512,
+            similarity_index_locks: 1024,
+            chunk_index_fallback: true,
+            capacity_balancing: true,
+        }
+    }
+}
+
+impl SigmaConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> SigmaConfigBuilder {
+        SigmaConfigBuilder::default()
+    }
+
+    /// The handprint sampling-rate denominator: a handprint of k fingerprints over a
+    /// super-chunk of `super_chunk_size / avg_chunk_size` chunks samples 1 out of
+    /// this many chunk fingerprints (32 with the paper's defaults).
+    pub fn sampling_rate_denominator(&self) -> usize {
+        let chunks_per_super_chunk =
+            (self.super_chunk_size / self.chunker.average_chunk_size()).max(1);
+        (chunks_per_super_chunk / self.handprint_size.max(1)).max(1)
+    }
+
+    /// Expected number of chunks per super-chunk.
+    pub fn chunks_per_super_chunk(&self) -> usize {
+        (self.super_chunk_size / self.chunker.average_chunk_size()).max(1)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SigmaError> {
+        if self.super_chunk_size == 0 {
+            return Err(SigmaError::InvalidConfig(
+                "super-chunk size must be non-zero".to_string(),
+            ));
+        }
+        if self.handprint_size == 0 {
+            return Err(SigmaError::InvalidConfig(
+                "handprint size must be non-zero".to_string(),
+            ));
+        }
+        if self.container_capacity == 0 {
+            return Err(SigmaError::InvalidConfig(
+                "container capacity must be non-zero".to_string(),
+            ));
+        }
+        if self.cache_containers == 0 {
+            return Err(SigmaError::InvalidConfig(
+                "cache capacity must be non-zero".to_string(),
+            ));
+        }
+        if self.similarity_index_locks == 0 {
+            return Err(SigmaError::InvalidConfig(
+                "similarity index lock count must be non-zero".to_string(),
+            ));
+        }
+        if self.chunker.average_chunk_size() > self.super_chunk_size {
+            return Err(SigmaError::InvalidConfig(format!(
+                "average chunk size {} exceeds super-chunk size {}",
+                self.chunker.average_chunk_size(),
+                self.super_chunk_size
+            )));
+        }
+        if self.chunker.average_chunk_size() > self.container_capacity {
+            return Err(SigmaError::InvalidConfig(format!(
+                "average chunk size {} exceeds container capacity {}",
+                self.chunker.average_chunk_size(),
+                self.container_capacity
+            )));
+        }
+        self.chunker.validate().map_err(SigmaError::InvalidConfig)?;
+        Ok(())
+    }
+}
+
+/// Builder for [`SigmaConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SigmaConfigBuilder {
+    config: SigmaConfig,
+}
+
+impl SigmaConfigBuilder {
+    /// Sets the super-chunk size in bytes.
+    pub fn super_chunk_size(mut self, bytes: usize) -> Self {
+        self.config.super_chunk_size = bytes;
+        self
+    }
+
+    /// Sets the handprint size (number of representative fingerprints).
+    pub fn handprint_size(mut self, k: usize) -> Self {
+        self.config.handprint_size = k;
+        self
+    }
+
+    /// Sets the chunking parameters.
+    pub fn chunker(mut self, chunker: ChunkerParams) -> Self {
+        self.config.chunker = chunker;
+        self
+    }
+
+    /// Sets the fingerprinting hash algorithm.
+    pub fn fingerprint_algorithm(mut self, algorithm: FingerprintAlgorithm) -> Self {
+        self.config.fingerprint_algorithm = algorithm;
+        self
+    }
+
+    /// Sets the container data-section capacity in bytes.
+    pub fn container_capacity(mut self, bytes: usize) -> Self {
+        self.config.container_capacity = bytes;
+        self
+    }
+
+    /// Sets the chunk-fingerprint cache capacity in containers.
+    pub fn cache_containers(mut self, containers: usize) -> Self {
+        self.config.cache_containers = containers;
+        self
+    }
+
+    /// Sets the number of lock stripes for the similarity index.
+    pub fn similarity_index_locks(mut self, locks: usize) -> Self {
+        self.config.similarity_index_locks = locks;
+        self
+    }
+
+    /// Enables or disables the on-disk chunk-index fallback.
+    pub fn chunk_index_fallback(mut self, enabled: bool) -> Self {
+        self.config.chunk_index_fallback = enabled;
+        self
+    }
+
+    /// Enables or disables capacity-aware load balancing in the similarity router.
+    pub fn capacity_balancing(mut self, enabled: bool) -> Self {
+        self.config.capacity_balancing = enabled;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::InvalidConfig`] if any parameter is inconsistent.
+    pub fn build(self) -> Result<SigmaConfig, SigmaError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SigmaConfig::default();
+        assert_eq!(c.super_chunk_size, 1 << 20);
+        assert_eq!(c.handprint_size, 8);
+        assert_eq!(c.chunker.average_chunk_size(), 4096);
+        assert_eq!(c.fingerprint_algorithm, FingerprintAlgorithm::Sha1);
+        assert!(c.chunk_index_fallback);
+        assert!(c.capacity_balancing);
+        // 1 MB / 4 KB = 256 chunks; 256 / 8 = a 1-in-32 sampling rate.
+        assert_eq!(c.chunks_per_super_chunk(), 256);
+        assert_eq!(c.sampling_rate_denominator(), 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SigmaConfig::builder()
+            .super_chunk_size(512 * 1024)
+            .handprint_size(4)
+            .cache_containers(16)
+            .similarity_index_locks(64)
+            .chunk_index_fallback(false)
+            .capacity_balancing(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.super_chunk_size, 512 * 1024);
+        assert_eq!(c.handprint_size, 4);
+        assert_eq!(c.cache_containers, 16);
+        assert_eq!(c.similarity_index_locks, 64);
+        assert!(!c.chunk_index_fallback);
+        assert!(!c.capacity_balancing);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_configs() {
+        assert!(SigmaConfig::builder().super_chunk_size(0).build().is_err());
+        assert!(SigmaConfig::builder().handprint_size(0).build().is_err());
+        assert!(SigmaConfig::builder().container_capacity(0).build().is_err());
+        assert!(SigmaConfig::builder().cache_containers(0).build().is_err());
+        assert!(SigmaConfig::builder()
+            .similarity_index_locks(0)
+            .build()
+            .is_err());
+        // Chunk size larger than the super-chunk.
+        assert!(SigmaConfig::builder()
+            .super_chunk_size(1024)
+            .chunker(sigma_chunking::ChunkerParams::fixed(4096))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_rate_never_zero() {
+        let c = SigmaConfig::builder()
+            .super_chunk_size(4096)
+            .handprint_size(64)
+            .build()
+            .unwrap();
+        assert!(c.sampling_rate_denominator() >= 1);
+    }
+}

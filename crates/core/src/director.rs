@@ -1,0 +1,225 @@
+//! The director: backup-session and file-recipe management.
+//!
+//! The director (Figure 2) is the control-plane component that keeps track of which
+//! files were backed up, in which session, and how to reconstruct them: a *file
+//! recipe* lists, in order, every chunk fingerprint of the file together with its
+//! size and the node that stores it.  No chunk data flows through the director.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::Fingerprint;
+
+/// Identifier of a backed-up file.
+pub type FileId = u64;
+
+/// One entry of a file recipe: a chunk and where it lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecipeEntry {
+    /// The chunk's fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The chunk's length in bytes.
+    pub len: u32,
+    /// The deduplication node holding the chunk.
+    pub node: usize,
+}
+
+/// Everything needed to reconstruct one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileRecipe {
+    /// The file's identifier (assigned by the director).
+    pub file_id: FileId,
+    /// Client-supplied file name.
+    pub name: String,
+    /// Logical file size in bytes.
+    pub size: u64,
+    /// Chunks in file order.
+    pub chunks: Vec<RecipeEntry>,
+    /// The backup session this file belongs to.
+    pub session_id: u64,
+}
+
+/// A group of files backed up together by one client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackupSession {
+    /// Session identifier.
+    pub session_id: u64,
+    /// Client-supplied name (e.g. hostname).
+    pub client: String,
+    /// Files registered in this session.
+    pub files: Vec<FileId>,
+}
+
+#[derive(Debug, Default)]
+struct DirectorInner {
+    next_file_id: FileId,
+    next_session_id: u64,
+    recipes: std::collections::HashMap<FileId, FileRecipe>,
+    sessions: std::collections::HashMap<u64, BackupSession>,
+}
+
+/// The metadata service of the cluster.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::Director;
+///
+/// let director = Director::new();
+/// let session = director.open_session("client-a");
+/// let file = director.register_file(session, "etc/passwd", 1234, Vec::new());
+/// assert_eq!(director.recipe(file).unwrap().name, "etc/passwd");
+/// assert_eq!(director.session(session).unwrap().files, vec![file]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Director {
+    inner: Mutex<DirectorInner>,
+}
+
+impl Director {
+    /// Creates an empty director.
+    pub fn new() -> Self {
+        Director::default()
+    }
+
+    /// Opens a new backup session for `client`.
+    pub fn open_session(&self, client: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        let id = inner.next_session_id;
+        inner.next_session_id += 1;
+        inner.sessions.insert(
+            id,
+            BackupSession {
+                session_id: id,
+                client: client.to_string(),
+                files: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Registers a completed file backup and returns its file ID.
+    ///
+    /// Unknown session IDs are tolerated (a session record is created lazily), so
+    /// trace-driven callers may pass `0`.
+    pub fn register_file(
+        &self,
+        session_id: u64,
+        name: &str,
+        size: u64,
+        chunks: Vec<RecipeEntry>,
+    ) -> FileId {
+        let mut inner = self.inner.lock();
+        let file_id = inner.next_file_id;
+        inner.next_file_id += 1;
+        inner.recipes.insert(
+            file_id,
+            FileRecipe {
+                file_id,
+                name: name.to_string(),
+                size,
+                chunks,
+                session_id,
+            },
+        );
+        inner
+            .sessions
+            .entry(session_id)
+            .or_insert_with(|| BackupSession {
+                session_id,
+                client: String::new(),
+                files: Vec::new(),
+            })
+            .files
+            .push(file_id);
+        file_id
+    }
+
+    /// The recipe of a file, if it exists.
+    pub fn recipe(&self, file_id: FileId) -> Option<FileRecipe> {
+        self.inner.lock().recipes.get(&file_id).cloned()
+    }
+
+    /// A backup session, if it exists.
+    pub fn session(&self, session_id: u64) -> Option<BackupSession> {
+        self.inner.lock().sessions.get(&session_id).cloned()
+    }
+
+    /// Number of registered files.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().recipes.len()
+    }
+
+    /// Number of sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    /// Total logical bytes across all registered files.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.inner.lock().recipes.values().map(|r| r.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_hashkit::{Digest, Sha1};
+
+    fn entry(i: u64) -> RecipeEntry {
+        RecipeEntry {
+            fingerprint: Sha1::fingerprint(&i.to_le_bytes()),
+            len: 4096,
+            node: (i % 4) as usize,
+        }
+    }
+
+    #[test]
+    fn sessions_group_files() {
+        let d = Director::new();
+        let s1 = d.open_session("alpha");
+        let s2 = d.open_session("beta");
+        let f1 = d.register_file(s1, "a.txt", 100, vec![entry(1)]);
+        let f2 = d.register_file(s1, "b.txt", 200, vec![entry(2)]);
+        let f3 = d.register_file(s2, "c.txt", 300, vec![entry(3)]);
+        assert_eq!(d.session(s1).unwrap().files, vec![f1, f2]);
+        assert_eq!(d.session(s2).unwrap().files, vec![f3]);
+        assert_eq!(d.session(s1).unwrap().client, "alpha");
+        assert_eq!(d.file_count(), 3);
+        assert_eq!(d.session_count(), 2);
+        assert_eq!(d.total_logical_bytes(), 600);
+    }
+
+    #[test]
+    fn recipes_preserve_chunk_order() {
+        let d = Director::new();
+        let chunks: Vec<RecipeEntry> = (0..10).map(entry).collect();
+        let f = d.register_file(0, "ordered.bin", 40960, chunks.clone());
+        assert_eq!(d.recipe(f).unwrap().chunks, chunks);
+    }
+
+    #[test]
+    fn unknown_ids_return_none() {
+        let d = Director::new();
+        assert!(d.recipe(42).is_none());
+        assert!(d.session(42).is_none());
+    }
+
+    #[test]
+    fn lazy_session_creation_for_unknown_session_ids() {
+        let d = Director::new();
+        let f = d.register_file(99, "orphan", 1, Vec::new());
+        assert_eq!(d.session(99).unwrap().files, vec![f]);
+    }
+
+    #[test]
+    fn file_ids_are_unique_and_monotonic() {
+        let d = Director::new();
+        let ids: Vec<FileId> = (0..100)
+            .map(|i| d.register_file(0, &format!("f{}", i), 1, Vec::new()))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the Σ-Dedupe core.
+
+use sigma_storage::StorageError;
+
+/// Errors produced by backup, deduplication and restore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmaError {
+    /// An underlying storage operation failed.
+    Storage(StorageError),
+    /// No file recipe exists for this file ID.
+    FileNotFound(u64),
+    /// A chunk referenced by a file recipe could not be found on its node.
+    ChunkMissing {
+        /// Node that was expected to hold the chunk.
+        node: usize,
+        /// Hex form of the missing fingerprint.
+        fingerprint: String,
+    },
+    /// The chunk exists but its payload was not stored (trace-driven/synthetic mode).
+    PayloadUnavailable {
+        /// Hex form of the fingerprint whose payload is unavailable.
+        fingerprint: String,
+    },
+    /// The routing scheme requires file boundaries but none were provided.
+    FileBoundariesRequired {
+        /// Name of the routing scheme that raised the error.
+        router: String,
+    },
+    /// Configuration rejected at validation time.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SigmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigmaError::Storage(e) => write!(f, "storage error: {}", e),
+            SigmaError::FileNotFound(id) => write!(f, "no file recipe for file id {}", id),
+            SigmaError::ChunkMissing { node, fingerprint } => {
+                write!(f, "chunk {} missing on node {}", fingerprint, node)
+            }
+            SigmaError::PayloadUnavailable { fingerprint } => write!(
+                f,
+                "payload for chunk {} was not stored (synthetic mode)",
+                fingerprint
+            ),
+            SigmaError::FileBoundariesRequired { router } => write!(
+                f,
+                "routing scheme {} requires file boundary information",
+                router
+            ),
+            SigmaError::InvalidConfig(msg) => write!(f, "invalid configuration: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for SigmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SigmaError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SigmaError {
+    fn from(e: StorageError) -> Self {
+        SigmaError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_storage::ContainerId;
+
+    #[test]
+    fn display_and_source() {
+        let e = SigmaError::from(StorageError::ContainerNotFound(ContainerId::new(3)));
+        assert!(e.to_string().contains("container-3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SigmaError::FileNotFound(1)).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SigmaError>();
+    }
+}

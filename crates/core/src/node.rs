@@ -1,0 +1,622 @@
+//! The deduplication server node.
+//!
+//! A node receives super-chunks routed to it, identifies duplicate chunks and stores
+//! the unique ones in containers.  The intra-node design follows Section 3.3 of the
+//! paper:
+//!
+//! 1. look the super-chunk's representative fingerprints up in the **similarity
+//!    index**;
+//! 2. **prefetch** the chunk-fingerprint lists of the matched containers into the
+//!    chunk-fingerprint cache (one sequential metadata read per container);
+//! 3. resolve every chunk fingerprint against the cache; only cache misses may fall
+//!    back to the traditional on-disk chunk index (a simulated random disk read), and
+//!    that fallback can be disabled entirely for the approximate mode of Fig. 5(b);
+//! 4. store unique chunks into the per-stream open container and finally map the
+//!    super-chunk's representative fingerprints to that container in the similarity
+//!    index.
+
+use crate::{ChunkDescriptor, Handprint, Result, SigmaConfig, SigmaError, SuperChunk};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::Fingerprint;
+use sigma_storage::{
+    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ContainerId, ContainerStore,
+    ContainerStoreStats, DiskModel, DiskParams, DiskStats, FingerprintCache, SimilarityIndex,
+    SimilarityIndexStats, StreamId,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result of deduplicating one super-chunk on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SuperChunkReceipt {
+    /// Node that processed the super-chunk.
+    pub node_id: usize,
+    /// Chunks found to be duplicates (not stored again).
+    pub duplicate_chunks: u64,
+    /// Chunks stored as new unique data.
+    pub unique_chunks: u64,
+    /// Bytes of duplicate chunks.
+    pub duplicate_bytes: u64,
+    /// Bytes of unique chunks (what a source-deduplicating client must transfer).
+    pub unique_bytes: u64,
+    /// Duplicate chunks resolved by the chunk-fingerprint cache.
+    pub cache_hits: u64,
+    /// Duplicate chunks resolved by the on-disk chunk-index fallback.
+    pub index_fallback_hits: u64,
+    /// Containers prefetched into the cache for this super-chunk.
+    pub containers_prefetched: u64,
+}
+
+impl SuperChunkReceipt {
+    /// Total chunks in the super-chunk.
+    pub fn total_chunks(&self) -> u64 {
+        self.duplicate_chunks + self.unique_chunks
+    }
+
+    /// Total logical bytes in the super-chunk.
+    pub fn logical_bytes(&self) -> u64 {
+        self.duplicate_bytes + self.unique_bytes
+    }
+}
+
+/// Point-in-time statistics of a [`DedupNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct NodeStats {
+    /// Node identifier.
+    pub node_id: usize,
+    /// Logical bytes received.
+    pub logical_bytes: u64,
+    /// Physical bytes stored after deduplication.
+    pub physical_bytes: u64,
+    /// Total chunks received.
+    pub total_chunks: u64,
+    /// Unique chunks stored.
+    pub unique_chunks: u64,
+    /// Super-chunks processed.
+    pub super_chunks: u64,
+    /// Deduplication ratio (logical / physical); 1.0 when nothing is stored.
+    pub dedup_ratio: f64,
+    /// Similarity-index statistics.
+    pub similarity_index: SimilarityIndexStats,
+    /// Chunk-fingerprint cache statistics.
+    pub cache: CacheStats,
+    /// On-disk chunk-index statistics.
+    pub chunk_index: ChunkIndexStats,
+    /// Container store statistics.
+    pub containers: ContainerStoreStats,
+    /// Simulated disk statistics.
+    pub disk: DiskStats,
+    /// Estimated RAM used by the similarity index, in bytes.
+    pub similarity_index_ram_bytes: u64,
+    /// Estimated size of the full chunk index, in bytes (what a traditional design
+    /// would need to keep hot).
+    pub chunk_index_bytes: u64,
+}
+
+/// A deduplication server node.
+///
+/// All methods take `&self`; internal state is protected by striped locks so that
+/// multiple backup streams (threads) can be deduplicated in parallel, as in the
+/// paper's multi-stream prototype.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::{DedupNode, SigmaConfig, SuperChunk};
+/// use sigma_hashkit::FingerprintAlgorithm;
+///
+/// let node = DedupNode::new(0, &SigmaConfig::default());
+/// let chunks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 4096]).collect();
+/// let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, chunks);
+/// let handprint = sc.handprint(8);
+///
+/// let first = node.process_super_chunk(0, &sc, &handprint).unwrap();
+/// assert_eq!(first.unique_chunks, 4);
+/// let second = node.process_super_chunk(0, &sc, &handprint).unwrap();
+/// assert_eq!(second.duplicate_chunks, 4);
+/// assert!(node.stats().dedup_ratio > 1.9);
+/// ```
+#[derive(Debug)]
+pub struct DedupNode {
+    id: usize,
+    chunk_index_fallback: bool,
+    similarity_index: SimilarityIndex,
+    cache: FingerprintCache,
+    chunk_index: ChunkIndex,
+    store: ContainerStore,
+    disk: Arc<DiskModel>,
+    logical_bytes: AtomicU64,
+    total_chunks: AtomicU64,
+    unique_chunks: AtomicU64,
+    super_chunks: AtomicU64,
+    /// Fingerprints written to the currently open container of each stream; catches
+    /// duplicates within the active container before it is sealed.
+    open_fingerprints: Mutex<HashMap<StreamId, (ContainerId, HashSet<Fingerprint>)>>,
+}
+
+impl DedupNode {
+    /// Creates a node with identifier `id` configured by `config`.
+    pub fn new(id: usize, config: &SigmaConfig) -> Self {
+        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        DedupNode {
+            id,
+            chunk_index_fallback: config.chunk_index_fallback,
+            similarity_index: SimilarityIndex::new(config.similarity_index_locks),
+            cache: FingerprintCache::new(config.cache_containers),
+            chunk_index: ChunkIndex::with_disk(disk.clone()),
+            store: ContainerStore::new(config.container_capacity).with_disk(disk.clone()),
+            disk,
+            logical_bytes: AtomicU64::new(0),
+            total_chunks: AtomicU64::new(0),
+            unique_chunks: AtomicU64::new(0),
+            super_chunks: AtomicU64::new(0),
+            open_fingerprints: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The node identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Counts how many of a handprint's representative fingerprints this node has in
+    /// its similarity index (the resemblance value returned to a pre-routing query,
+    /// step 2 of Algorithm 1).
+    pub fn resemblance_count(&self, handprint: &Handprint) -> usize {
+        self.similarity_index
+            .count_matches(handprint.representative_fingerprints())
+    }
+
+    /// Counts how many of the given chunk fingerprints this node already stores.
+    ///
+    /// Used by the *stateful* baseline router, which consults every node's stored
+    /// state; the probe does not charge simulated disk I/O (the paper's stateful
+    /// scheme keeps a sampled in-RAM index for this purpose).
+    pub fn count_stored_fingerprints(&self, fingerprints: &[Fingerprint]) -> usize {
+        fingerprints
+            .iter()
+            .filter(|fp| self.chunk_index.contains_silent(fp))
+            .count()
+    }
+
+    /// Physical bytes stored on this node (the storage-usage figure used for load
+    /// balancing and skew metrics).
+    pub fn storage_usage(&self) -> u64 {
+        self.store.physical_bytes()
+    }
+
+    /// Logical bytes routed to this node so far.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Deduplicates one super-chunk arriving on `stream`.
+    ///
+    /// The handprint is passed in (rather than recomputed) because in the real
+    /// protocol the backup client computes it once and sends it both to the routing
+    /// candidates and to the target node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a unique chunk cannot be stored (e.g. it exceeds the
+    /// container capacity).
+    pub fn process_super_chunk(
+        &self,
+        stream: StreamId,
+        super_chunk: &SuperChunk,
+        handprint: &Handprint,
+    ) -> Result<SuperChunkReceipt> {
+        let mut receipt = SuperChunkReceipt {
+            node_id: self.id,
+            ..SuperChunkReceipt::default()
+        };
+
+        // Step 1 + 2: similarity-index lookup and container prefetch.
+        let matched = self
+            .similarity_index
+            .matched_containers(handprint.representative_fingerprints());
+        for cid in &matched {
+            if !self.cache.contains_container(*cid) {
+                if let Ok(meta) = self.store.read_metadata(cid) {
+                    self.cache.insert_container(*cid, meta.fingerprints());
+                    receipt.containers_prefetched += 1;
+                }
+            }
+        }
+
+        // Step 3: resolve each chunk.
+        let mut first_target: Option<ContainerId> = None;
+        for (i, descriptor) in super_chunk.descriptors().iter().enumerate() {
+            let resolution = self.resolve_chunk(stream, descriptor, super_chunk.payload(i))?;
+            match resolution {
+                ChunkResolution::CacheHit => {
+                    receipt.duplicate_chunks += 1;
+                    receipt.duplicate_bytes += descriptor.len as u64;
+                    receipt.cache_hits += 1;
+                }
+                ChunkResolution::IndexHit => {
+                    receipt.duplicate_chunks += 1;
+                    receipt.duplicate_bytes += descriptor.len as u64;
+                    receipt.index_fallback_hits += 1;
+                }
+                ChunkResolution::OpenContainerHit => {
+                    receipt.duplicate_chunks += 1;
+                    receipt.duplicate_bytes += descriptor.len as u64;
+                    receipt.cache_hits += 1;
+                }
+                ChunkResolution::Stored(container) => {
+                    receipt.unique_chunks += 1;
+                    receipt.unique_bytes += descriptor.len as u64;
+                    if first_target.is_none() {
+                        first_target = Some(container);
+                    }
+                }
+            }
+        }
+
+        // Step 4: index the super-chunk's handprint under the container it went to.
+        let target = first_target.or_else(|| matched.first().copied());
+        if let Some(cid) = target {
+            for rfp in handprint.representative_fingerprints() {
+                self.similarity_index.insert(*rfp, cid);
+            }
+        }
+
+        self.logical_bytes
+            .fetch_add(super_chunk.logical_size(), Ordering::Relaxed);
+        self.total_chunks
+            .fetch_add(super_chunk.chunk_count() as u64, Ordering::Relaxed);
+        self.unique_chunks
+            .fetch_add(receipt.unique_chunks, Ordering::Relaxed);
+        self.super_chunks.fetch_add(1, Ordering::Relaxed);
+        Ok(receipt)
+    }
+
+    fn resolve_chunk(
+        &self,
+        stream: StreamId,
+        descriptor: &ChunkDescriptor,
+        payload: Option<&[u8]>,
+    ) -> Result<ChunkResolution> {
+        let fp = descriptor.fingerprint;
+
+        // 3a: chunk-fingerprint cache (container-locality hits).
+        if self.cache.lookup(&fp).is_some() {
+            return Ok(ChunkResolution::CacheHit);
+        }
+
+        // 3b: fingerprints already written to this stream's open container.
+        {
+            let open = self.open_fingerprints.lock();
+            if let Some((cid, set)) = open.get(&stream) {
+                if self.store.open_container(stream) == Some(*cid) && set.contains(&fp) {
+                    return Ok(ChunkResolution::OpenContainerHit);
+                }
+            }
+        }
+
+        // 3c: optional on-disk chunk-index fallback.
+        if self.chunk_index_fallback && self.chunk_index.lookup(&fp).is_some() {
+            return Ok(ChunkResolution::IndexHit);
+        }
+
+        // Unique: store it.
+        let stored = match payload {
+            Some(bytes) => self.store.store_chunk(stream, fp, bytes)?,
+            None => self
+                .store
+                .store_chunk_synthetic(stream, fp, descriptor.len)?,
+        };
+        self.chunk_index.insert(
+            fp,
+            ChunkLocation {
+                container: stored.container,
+                offset: stored.offset,
+                len: stored.len,
+            },
+        );
+        // Track the open container's fingerprints for intra-container duplicate hits.
+        {
+            let mut open = self.open_fingerprints.lock();
+            let entry = open
+                .entry(stream)
+                .or_insert_with(|| (stored.container, HashSet::new()));
+            if entry.0 != stored.container {
+                *entry = (stored.container, HashSet::new());
+            }
+            entry.1.insert(fp);
+        }
+        Ok(ChunkResolution::Stored(stored.container))
+    }
+
+    /// Reads a chunk's payload back (restore path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::ChunkMissing`] when the fingerprint is unknown to this
+    /// node and [`SigmaError::PayloadUnavailable`] when the chunk was stored in
+    /// synthetic (trace-driven) mode.
+    pub fn read_chunk(&self, fingerprint: &Fingerprint) -> Result<Vec<u8>> {
+        let location = self
+            .chunk_index
+            .lookup(fingerprint)
+            .ok_or_else(|| SigmaError::ChunkMissing {
+                node: self.id,
+                fingerprint: fingerprint.to_string(),
+            })?;
+        match self.store.read_chunk(&location.container, fingerprint) {
+            Ok(data) => Ok(data),
+            Err(sigma_storage::StorageError::ChunkNotInContainer { .. }) => {
+                Err(SigmaError::PayloadUnavailable {
+                    fingerprint: fingerprint.to_string(),
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Seals all open containers (end of a backup session).
+    pub fn flush(&self) {
+        self.store.flush();
+        self.open_fingerprints.lock().clear();
+    }
+
+    /// The node's deduplication ratio (logical bytes / physical bytes); 1.0 when no
+    /// data has been stored.
+    pub fn dedup_ratio(&self) -> f64 {
+        let physical = self.storage_usage();
+        if physical == 0 {
+            1.0
+        } else {
+            self.logical_bytes() as f64 / physical as f64
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            node_id: self.id,
+            logical_bytes: self.logical_bytes(),
+            physical_bytes: self.storage_usage(),
+            total_chunks: self.total_chunks.load(Ordering::Relaxed),
+            unique_chunks: self.unique_chunks.load(Ordering::Relaxed),
+            super_chunks: self.super_chunks.load(Ordering::Relaxed),
+            dedup_ratio: self.dedup_ratio(),
+            similarity_index: self.similarity_index.stats(),
+            cache: self.cache.stats(),
+            chunk_index: self.chunk_index.stats(),
+            containers: self.store.stats(),
+            disk: self.disk.stats(),
+            similarity_index_ram_bytes: self.similarity_index.estimated_ram_bytes() as u64,
+            chunk_index_bytes: self.chunk_index.estimated_bytes() as u64,
+        }
+    }
+}
+
+enum ChunkResolution {
+    CacheHit,
+    OpenContainerHit,
+    IndexHit,
+    Stored(ContainerId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuperChunkBuilder;
+    use sigma_hashkit::{Digest, FingerprintAlgorithm, Sha1};
+
+    fn config() -> SigmaConfig {
+        SigmaConfig::builder()
+            .super_chunk_size(64 * 1024)
+            .container_capacity(256 * 1024)
+            .cache_containers(8)
+            .build()
+            .unwrap()
+    }
+
+    fn payload_super_chunk(seed: u8, chunks: usize, chunk_len: usize) -> SuperChunk {
+        let data: Vec<Vec<u8>> = (0..chunks)
+            .map(|i| {
+                (0..chunk_len)
+                    .map(|j| seed.wrapping_add((i * 31 + j) as u8))
+                    .collect()
+            })
+            .collect();
+        SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, data)
+    }
+
+    fn descriptor_super_chunk(ids: &[u64], len: u32) -> SuperChunk {
+        SuperChunk::from_descriptors(
+            0,
+            ids.iter()
+                .map(|&i| ChunkDescriptor::new(Sha1::fingerprint(&i.to_le_bytes()), len))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unique_then_duplicate_super_chunk() {
+        let node = DedupNode::new(3, &config());
+        let sc = payload_super_chunk(1, 16, 4096);
+        let hp = sc.handprint(8);
+        let first = node.process_super_chunk(0, &sc, &hp).unwrap();
+        assert_eq!(first.node_id, 3);
+        assert_eq!(first.unique_chunks, 16);
+        assert_eq!(first.duplicate_chunks, 0);
+        assert_eq!(first.unique_bytes, 16 * 4096);
+
+        let second = node.process_super_chunk(0, &sc, &hp).unwrap();
+        assert_eq!(second.unique_chunks, 0);
+        assert_eq!(second.duplicate_chunks, 16);
+        assert_eq!(second.total_chunks(), 16);
+        assert_eq!(second.logical_bytes(), 16 * 4096);
+
+        let stats = node.stats();
+        assert_eq!(stats.logical_bytes, 2 * 16 * 4096);
+        assert_eq!(stats.physical_bytes, 16 * 4096);
+        assert!((stats.dedup_ratio - 2.0).abs() < 1e-9);
+        assert_eq!(stats.super_chunks, 2);
+    }
+
+    #[test]
+    fn duplicates_within_one_super_chunk_are_caught() {
+        let node = DedupNode::new(0, &config());
+        // The same chunk id repeated many times inside one super-chunk.
+        let sc = descriptor_super_chunk(&[7, 7, 7, 7, 8], 4096);
+        let hp = sc.handprint(8);
+        let r = node.process_super_chunk(0, &sc, &hp).unwrap();
+        assert_eq!(r.unique_chunks, 2);
+        assert_eq!(r.duplicate_chunks, 3);
+    }
+
+    #[test]
+    fn similarity_only_mode_still_detects_similar_super_chunks() {
+        let cfg = SigmaConfig::builder()
+            .super_chunk_size(64 * 1024)
+            .chunk_index_fallback(false)
+            .cache_containers(8)
+            .build()
+            .unwrap();
+        let node = DedupNode::new(0, &cfg);
+        let sc = descriptor_super_chunk(&(0..64).collect::<Vec<u64>>(), 4096);
+        let hp = sc.handprint(8);
+        node.process_super_chunk(0, &sc, &hp).unwrap();
+        node.flush();
+        // The identical super-chunk arrives again: the handprint matches, the
+        // container is prefetched, every chunk hits the cache.
+        let r = node.process_super_chunk(0, &sc, &hp).unwrap();
+        assert_eq!(r.duplicate_chunks, 64);
+        assert_eq!(r.unique_chunks, 0);
+        assert!(r.containers_prefetched >= 1);
+    }
+
+    #[test]
+    fn similarity_only_mode_misses_dissimilar_duplicates() {
+        // Without the chunk-index fallback, duplicates arriving in a super-chunk
+        // whose handprint does not match anything go undetected — that is the
+        // approximate-dedup trade-off of Fig. 5(b).
+        let cfg = SigmaConfig::builder()
+            .chunk_index_fallback(false)
+            .cache_containers(8)
+            .build()
+            .unwrap();
+        let node = DedupNode::new(0, &cfg);
+        // First super-chunk: chunks 0..64.
+        let a = descriptor_super_chunk(&(0..64).collect::<Vec<u64>>(), 4096);
+        node.process_super_chunk(0, &a, &a.handprint(8)).unwrap();
+        node.flush();
+        // Second super-chunk shares only one low-similarity chunk and has a disjoint
+        // handprint (we force that by computing the handprint from different data).
+        let mut ids: Vec<u64> = (1000..1063).collect();
+        ids.push(5); // one duplicate chunk hidden among new data
+        let b = descriptor_super_chunk(&ids, 4096);
+        // Handprint intentionally computed only over the new chunks so it cannot
+        // match the stored container.
+        let hp_b = Handprint::from_fingerprints(
+            ids[..32].iter().map(|i| Sha1::fingerprint(&i.to_le_bytes())),
+            8,
+        );
+        let r = node.process_super_chunk(0, &b, &hp_b).unwrap();
+        // The hidden duplicate may or may not be caught via the open container (it is
+        // a different container), so in similarity-only mode it is stored again.
+        assert_eq!(r.duplicate_chunks, 0);
+        assert_eq!(r.unique_chunks, 64);
+
+        // With the fallback enabled the same scenario catches the duplicate.
+        let exact = DedupNode::new(1, &SigmaConfig::default());
+        exact.process_super_chunk(0, &a, &a.handprint(8)).unwrap();
+        exact.flush();
+        let r2 = exact.process_super_chunk(0, &b, &hp_b).unwrap();
+        assert_eq!(r2.duplicate_chunks, 1);
+    }
+
+    #[test]
+    fn read_back_restores_payloads() {
+        let node = DedupNode::new(0, &config());
+        let sc = payload_super_chunk(9, 8, 1024);
+        let hp = sc.handprint(8);
+        node.process_super_chunk(0, &sc, &hp).unwrap();
+        node.flush();
+        for (i, d) in sc.descriptors().iter().enumerate() {
+            let data = node.read_chunk(&d.fingerprint).unwrap();
+            assert_eq!(data.as_slice(), sc.payload(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn read_chunk_errors() {
+        let node = DedupNode::new(0, &config());
+        let missing = Sha1::fingerprint(b"never stored");
+        assert!(matches!(
+            node.read_chunk(&missing),
+            Err(SigmaError::ChunkMissing { .. })
+        ));
+
+        // Synthetic chunks have no payload.
+        let sc = descriptor_super_chunk(&[1, 2, 3], 512);
+        node.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        node.flush();
+        assert!(matches!(
+            node.read_chunk(&sc.descriptors()[0].fingerprint),
+            Err(SigmaError::PayloadUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn resemblance_count_reflects_similarity_index() {
+        let node = DedupNode::new(0, &config());
+        let sc = descriptor_super_chunk(&(0..32).collect::<Vec<u64>>(), 4096);
+        let hp = sc.handprint(8);
+        assert_eq!(node.resemblance_count(&hp), 0);
+        node.process_super_chunk(0, &sc, &hp).unwrap();
+        assert_eq!(node.resemblance_count(&hp), 8);
+        // A disjoint super-chunk has zero resemblance.
+        let other = descriptor_super_chunk(&(100..132).collect::<Vec<u64>>(), 4096);
+        assert_eq!(node.resemblance_count(&other.handprint(8)), 0);
+    }
+
+    #[test]
+    fn count_stored_fingerprints_for_stateful_routing() {
+        let node = DedupNode::new(0, &config());
+        let sc = descriptor_super_chunk(&(0..16).collect::<Vec<u64>>(), 4096);
+        node.process_super_chunk(0, &sc, &sc.handprint(8)).unwrap();
+        let probe: Vec<Fingerprint> = (8..24u64)
+            .map(|i| Sha1::fingerprint(&i.to_le_bytes()))
+            .collect();
+        assert_eq!(node.count_stored_fingerprints(&probe), 8);
+    }
+
+    #[test]
+    fn multi_stream_processing_is_thread_safe() {
+        let node = Arc::new(DedupNode::new(0, &config()));
+        let mut handles = Vec::new();
+        for stream in 0..4u64 {
+            let node = node.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut builder = SuperChunkBuilder::new(32 * 1024);
+                let mut supers = Vec::new();
+                for i in 0..64u64 {
+                    let id = stream * 1000 + i;
+                    let d = ChunkDescriptor::new(Sha1::fingerprint(&id.to_le_bytes()), 4096);
+                    if let Some(sc) = builder.push_descriptor(d) {
+                        supers.push(sc);
+                    }
+                }
+                supers.extend(builder.finish());
+                for sc in supers {
+                    node.process_super_chunk(stream, &sc, &sc.handprint(8)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = node.stats();
+        assert_eq!(stats.total_chunks, 4 * 64);
+        assert_eq!(stats.unique_chunks, 4 * 64);
+        assert_eq!(stats.physical_bytes, 4 * 64 * 4096);
+    }
+}

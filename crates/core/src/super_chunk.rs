@@ -1,0 +1,338 @@
+//! Super-chunks: the coarse-grained unit of data routing.
+//!
+//! A super-chunk (the term is borrowed from EMC's data-routing work the paper builds
+//! on) is a group of consecutive chunks, 1 MB worth by default.  Routing whole
+//! super-chunks instead of individual chunks preserves the locality of the backup
+//! stream inside one node — the paper's key intra-node performance lever — while the
+//! handprint computed over a super-chunk captures enough similarity for the stateful
+//! routing decision.
+
+use crate::Handprint;
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::{Fingerprint, FingerprintAlgorithm};
+
+/// Fingerprint and size of one chunk (the form in which chunks travel once the
+/// client has fingerprinted them, and the only form needed in trace-driven mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkDescriptor {
+    /// The chunk's fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The chunk's length in bytes.
+    pub len: u32,
+}
+
+impl ChunkDescriptor {
+    /// Creates a descriptor.
+    pub fn new(fingerprint: Fingerprint, len: u32) -> Self {
+        ChunkDescriptor { fingerprint, len }
+    }
+}
+
+/// A group of consecutive chunks routed (and deduplicated) together.
+///
+/// A super-chunk may carry the chunk payloads (real backup traffic) or only the
+/// descriptors (trace-driven simulation); [`SuperChunk::has_payloads`] tells which.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::SuperChunk;
+/// use sigma_hashkit::FingerprintAlgorithm;
+///
+/// let chunks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 1024]).collect();
+/// let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, chunks);
+/// assert_eq!(sc.chunk_count(), 4);
+/// assert_eq!(sc.logical_size(), 4096);
+/// let handprint = sc.handprint(2);
+/// assert_eq!(handprint.size(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperChunk {
+    /// Offset of the super-chunk within its stream (bytes).
+    offset: u64,
+    descriptors: Vec<ChunkDescriptor>,
+    /// Parallel to `descriptors`; empty when operating on descriptors only.
+    payloads: Vec<Vec<u8>>,
+}
+
+impl SuperChunk {
+    /// Builds a super-chunk from descriptors only (no payloads).
+    pub fn from_descriptors(offset: u64, descriptors: Vec<ChunkDescriptor>) -> Self {
+        SuperChunk {
+            offset,
+            descriptors,
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Builds a super-chunk from raw chunk payloads, fingerprinting each with
+    /// `algorithm`.
+    pub fn from_payloads(
+        algorithm: FingerprintAlgorithm,
+        offset: u64,
+        chunks: Vec<Vec<u8>>,
+    ) -> Self {
+        let descriptors = chunks
+            .iter()
+            .map(|c| ChunkDescriptor::new(algorithm.fingerprint(c), c.len() as u32))
+            .collect();
+        SuperChunk {
+            offset,
+            descriptors,
+            payloads: chunks,
+        }
+    }
+
+    /// Offset of the super-chunk within its stream.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The chunk descriptors, in stream order.
+    pub fn descriptors(&self) -> &[ChunkDescriptor] {
+        &self.descriptors
+    }
+
+    /// The payload of chunk `index`, if payloads were provided.
+    pub fn payload(&self, index: usize) -> Option<&[u8]> {
+        self.payloads.get(index).map(|v| v.as_slice())
+    }
+
+    /// True when the super-chunk carries chunk payloads.
+    pub fn has_payloads(&self) -> bool {
+        !self.payloads.is_empty()
+    }
+
+    /// Number of chunks in the super-chunk.
+    pub fn chunk_count(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// True when the super-chunk holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Total logical size in bytes.
+    pub fn logical_size(&self) -> u64 {
+        self.descriptors.iter().map(|d| d.len as u64).sum()
+    }
+
+    /// Iterator over the chunk fingerprints in stream order.
+    pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
+        self.descriptors.iter().map(|d| d.fingerprint)
+    }
+
+    /// Computes the super-chunk's handprint of size `k`.
+    pub fn handprint(&self, k: usize) -> Handprint {
+        Handprint::from_fingerprints(self.fingerprints(), k)
+    }
+}
+
+/// Groups a stream of chunks into super-chunks of a target size.
+///
+/// # Example
+///
+/// ```
+/// use sigma_core::{ChunkDescriptor, SuperChunkBuilder};
+/// use sigma_hashkit::{Digest, Sha1};
+///
+/// let mut builder = SuperChunkBuilder::new(8 * 1024);
+/// let mut complete = Vec::new();
+/// for i in 0..6u32 {
+///     let d = ChunkDescriptor::new(Sha1::fingerprint(&i.to_le_bytes()), 4096);
+///     if let Some(sc) = builder.push_descriptor(d) {
+///         complete.push(sc);
+///     }
+/// }
+/// complete.extend(builder.finish());
+/// assert_eq!(complete.len(), 3);
+/// assert!(complete.iter().all(|sc| sc.chunk_count() == 2));
+/// ```
+#[derive(Debug)]
+pub struct SuperChunkBuilder {
+    target_size: usize,
+    next_offset: u64,
+    current_offset: u64,
+    descriptors: Vec<ChunkDescriptor>,
+    payloads: Vec<Vec<u8>>,
+    current_bytes: usize,
+}
+
+impl SuperChunkBuilder {
+    /// Creates a builder emitting super-chunks of at least `target_size` bytes
+    /// (except possibly the final one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_size` is zero.
+    pub fn new(target_size: usize) -> Self {
+        assert!(target_size > 0, "super-chunk size must be non-zero");
+        SuperChunkBuilder {
+            target_size,
+            next_offset: 0,
+            current_offset: 0,
+            descriptors: Vec::new(),
+            payloads: Vec::new(),
+            current_bytes: 0,
+        }
+    }
+
+    /// Target super-chunk size in bytes.
+    pub fn target_size(&self) -> usize {
+        self.target_size
+    }
+
+    /// Adds a chunk with payload; returns a completed super-chunk once the target
+    /// size is reached.
+    pub fn push_chunk(&mut self, descriptor: ChunkDescriptor, payload: Vec<u8>) -> Option<SuperChunk> {
+        self.payloads.push(payload);
+        self.push_descriptor_inner(descriptor)
+    }
+
+    /// Adds a descriptor-only chunk; returns a completed super-chunk once the target
+    /// size is reached.
+    pub fn push_descriptor(&mut self, descriptor: ChunkDescriptor) -> Option<SuperChunk> {
+        self.push_descriptor_inner(descriptor)
+    }
+
+    fn push_descriptor_inner(&mut self, descriptor: ChunkDescriptor) -> Option<SuperChunk> {
+        self.current_bytes += descriptor.len as usize;
+        self.next_offset += descriptor.len as u64;
+        self.descriptors.push(descriptor);
+        if self.current_bytes >= self.target_size {
+            self.emit()
+        } else {
+            None
+        }
+    }
+
+    fn emit(&mut self) -> Option<SuperChunk> {
+        if self.descriptors.is_empty() {
+            return None;
+        }
+        let descriptors = std::mem::take(&mut self.descriptors);
+        let payloads = std::mem::take(&mut self.payloads);
+        let sc = SuperChunk {
+            offset: self.current_offset,
+            descriptors,
+            payloads,
+        };
+        self.current_offset = self.next_offset;
+        self.current_bytes = 0;
+        Some(sc)
+    }
+
+    /// Flushes the final, possibly undersized super-chunk (end of stream).
+    pub fn finish(&mut self) -> Option<SuperChunk> {
+        self.emit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sigma_hashkit::{Digest, Sha1};
+
+    fn descriptor(i: u64, len: u32) -> ChunkDescriptor {
+        ChunkDescriptor::new(Sha1::fingerprint(&i.to_le_bytes()), len)
+    }
+
+    #[test]
+    fn from_payloads_fingerprints_each_chunk() {
+        let chunks = vec![b"aaa".to_vec(), b"bbb".to_vec()];
+        let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 10, chunks);
+        assert_eq!(sc.offset(), 10);
+        assert!(sc.has_payloads());
+        assert_eq!(sc.descriptors()[0].fingerprint, Sha1::fingerprint(b"aaa"));
+        assert_eq!(sc.descriptors()[1].fingerprint, Sha1::fingerprint(b"bbb"));
+        assert_eq!(sc.payload(0).unwrap(), b"aaa");
+        assert_eq!(sc.payload(2), None);
+        assert_eq!(sc.logical_size(), 6);
+    }
+
+    #[test]
+    fn descriptor_only_super_chunks_have_no_payloads() {
+        let sc = SuperChunk::from_descriptors(0, vec![descriptor(1, 100), descriptor(2, 200)]);
+        assert!(!sc.has_payloads());
+        assert_eq!(sc.payload(0), None);
+        assert_eq!(sc.logical_size(), 300);
+        assert_eq!(sc.chunk_count(), 2);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn builder_groups_by_target_size() {
+        let mut b = SuperChunkBuilder::new(1000);
+        let mut done = Vec::new();
+        for i in 0..10u64 {
+            if let Some(sc) = b.push_descriptor(descriptor(i, 300)) {
+                done.push(sc);
+            }
+        }
+        done.extend(b.finish());
+        // 300 * 4 = 1200 >= 1000 => 4 chunks per super-chunk, 10 chunks => 2 full + 1 partial.
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].chunk_count(), 4);
+        assert_eq!(done[1].chunk_count(), 4);
+        assert_eq!(done[2].chunk_count(), 2);
+        // Offsets are contiguous.
+        assert_eq!(done[0].offset(), 0);
+        assert_eq!(done[1].offset(), 1200);
+        assert_eq!(done[2].offset(), 2400);
+    }
+
+    #[test]
+    fn builder_finish_on_empty_returns_none() {
+        let mut b = SuperChunkBuilder::new(1000);
+        assert!(b.finish().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "super-chunk size must be non-zero")]
+    fn zero_target_panics() {
+        SuperChunkBuilder::new(0);
+    }
+
+    #[test]
+    fn handprint_of_super_chunk_is_k_smallest() {
+        let sc = SuperChunk::from_descriptors(0, (0..100).map(|i| descriptor(i, 10)).collect());
+        let hp = sc.handprint(5);
+        let mut all: Vec<Fingerprint> = sc.fingerprints().collect();
+        all.sort();
+        assert_eq!(hp.representative_fingerprints(), &all[..5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_builder_preserves_all_chunks_and_sizes(
+            lens in proptest::collection::vec(1u32..5000, 1..100),
+            target in 1usize..20_000,
+        ) {
+            let mut b = SuperChunkBuilder::new(target);
+            let mut supers = Vec::new();
+            for (i, &len) in lens.iter().enumerate() {
+                if let Some(sc) = b.push_descriptor(descriptor(i as u64, len)) {
+                    supers.push(sc);
+                }
+            }
+            supers.extend(b.finish());
+
+            let total_chunks: usize = supers.iter().map(|s| s.chunk_count()).sum();
+            prop_assert_eq!(total_chunks, lens.len());
+            let total_bytes: u64 = supers.iter().map(|s| s.logical_size()).sum();
+            prop_assert_eq!(total_bytes, lens.iter().map(|&l| l as u64).sum::<u64>());
+            // All but the last super-chunk reach the target size.
+            for sc in &supers[..supers.len().saturating_sub(1)] {
+                prop_assert!(sc.logical_size() as usize >= target);
+            }
+            // Offsets are contiguous.
+            let mut expected_offset = 0u64;
+            for sc in &supers {
+                prop_assert_eq!(sc.offset(), expected_offset);
+                expected_offset += sc.logical_size();
+            }
+        }
+    }
+}

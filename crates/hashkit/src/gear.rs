@@ -1,0 +1,135 @@
+//! Gear hash: a cheap table-driven rolling hash for content-defined chunking.
+//!
+//! The gear hash (`h = (h << 1) + GEAR[b]`) needs no explicit sliding window: old
+//! bytes "age out" as their contribution is shifted past the top of the word.  It is
+//! provided as a faster alternative to the [`RabinHasher`](crate::RabinHasher) for
+//! the content-defined chunkers; the chunk-boundary distribution it produces is very
+//! similar in practice.
+
+use crate::RollingHash;
+
+/// Builds a table of 256 pseudo-random 64-bit constants with splitmix64.
+const fn build_gear_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut i = 0;
+    while i < 256 {
+        // splitmix64 step
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        table[i] = z;
+        i += 1;
+    }
+    table
+}
+
+/// The 256-entry constant table used by [`GearHasher`].
+pub const GEAR_TABLE: [u64; 256] = build_gear_table();
+
+/// Number of trailing bytes that still influence the gear hash value.
+///
+/// After 64 shifts a byte's contribution has left the word entirely, so the hash is
+/// effectively a function of the last 64 bytes.
+pub const GEAR_EFFECTIVE_WINDOW: usize = 64;
+
+/// Rolling gear hash.
+///
+/// # Example
+///
+/// ```
+/// use sigma_hashkit::{GearHasher, RollingHash};
+///
+/// let mut h = GearHasher::new();
+/// for &b in b"stream of bytes".iter() {
+///     h.roll(b);
+/// }
+/// assert_ne!(h.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GearHasher {
+    hash: u64,
+}
+
+impl GearHasher {
+    /// Creates a hasher with an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RollingHash for GearHasher {
+    fn reset(&mut self) {
+        self.hash = 0;
+    }
+
+    #[inline]
+    fn roll(&mut self, byte: u8) -> u64 {
+        self.hash = (self.hash << 1).wrapping_add(GEAR_TABLE[byte as usize]);
+        self.hash
+    }
+
+    fn value(&self) -> u64 {
+        self.hash
+    }
+
+    fn window_size(&self) -> usize {
+        GEAR_EFFECTIVE_WINDOW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_entries_are_distinct_enough() {
+        // Not a strict requirement, but a sanity check against a broken generator:
+        // all 256 entries should be unique.
+        let mut sorted = GEAR_TABLE.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256);
+    }
+
+    #[test]
+    fn rolling_is_deterministic() {
+        let mut a = GearHasher::new();
+        let mut b = GearHasher::new();
+        for &byte in b"identical input".iter() {
+            a.roll(byte);
+            b.roll(byte);
+        }
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = GearHasher::new();
+        h.roll(42);
+        h.reset();
+        assert_eq!(h.value(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_old_bytes_age_out(
+            prefix_a in proptest::collection::vec(any::<u8>(), 0..100),
+            prefix_b in proptest::collection::vec(any::<u8>(), 0..100),
+            tail in proptest::collection::vec(any::<u8>(), 64..160),
+        ) {
+            // After at least 64 common trailing bytes the two hashes must agree.
+            let run = |prefix: &[u8]| {
+                let mut h = GearHasher::new();
+                for &b in prefix.iter().chain(tail.iter()) {
+                    h.roll(b);
+                }
+                h.value()
+            };
+            prop_assert_eq!(run(&prefix_a), run(&prefix_b));
+        }
+    }
+}

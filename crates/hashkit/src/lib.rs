@@ -1,0 +1,248 @@
+//! Cryptographic and rolling hash primitives for the Σ-Dedupe deduplication framework.
+//!
+//! The paper ("A Scalable Inline Cluster Deduplication Framework for Big Data
+//! Protection", Fu et al., MIDDLEWARE 2012) fingerprints every data chunk with a
+//! collision-resistant cryptographic hash (SHA-1 or MD5) and uses rolling hashes
+//! (Rabin fingerprints) inside the content-defined chunking algorithms.  This crate
+//! provides self-contained implementations of all of those primitives so that the
+//! rest of the workspace has no dependency on external cryptography crates:
+//!
+//! * [`Sha1`] — the 160-bit SHA-1 hash used for chunk fingerprinting.
+//! * [`Md5`] — the 128-bit MD5 hash, kept as the faster (but weaker) alternative
+//!   evaluated in Figure 4(a) of the paper.
+//! * [`RabinHasher`] — a polynomial rolling hash over a sliding window, used by the
+//!   content-defined chunkers.
+//! * [`GearHasher`] — a table-driven "gear" rolling hash, a cheaper CDC alternative.
+//! * [`Fnv64`] — a tiny non-cryptographic hash used for hash-table style placement
+//!   (e.g. DHT bucket selection in the baseline routers).
+//! * [`Fingerprint`] — the fixed-width chunk fingerprint value type shared by the
+//!   whole workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use sigma_hashkit::{Digest, Sha1, Fingerprint};
+//!
+//! let fp: Fingerprint = Sha1::fingerprint(b"hello sigma-dedupe");
+//! assert_eq!(fp.as_bytes().len(), Fingerprint::LEN);
+//! // Fingerprints display as lowercase hex.
+//! assert_eq!(fp.to_string().len(), 2 * Fingerprint::LEN);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod fnv;
+mod gear;
+mod md5;
+mod rabin;
+mod sha1;
+
+pub use fingerprint::Fingerprint;
+pub use fnv::{fnv1a_32, fnv1a_64, Fnv64};
+pub use gear::{GearHasher, GEAR_TABLE};
+pub use md5::Md5;
+pub use rabin::{RabinHasher, RabinParams, DEFAULT_IRREDUCIBLE_POLY};
+pub use sha1::Sha1;
+
+/// A cryptographic digest algorithm producing a fixed-size output.
+///
+/// Both [`Sha1`] and [`Md5`] implement this trait.  The incremental API
+/// (`update`/`finalize`) mirrors the usual streaming digest interface so that large
+/// chunks can be hashed without first concatenating them into one buffer.
+///
+/// # Example
+///
+/// ```
+/// use sigma_hashkit::{Digest, Md5};
+///
+/// let mut hasher = Md5::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let streamed = hasher.finalize();
+/// assert_eq!(streamed, Md5::digest(b"hello world"));
+/// ```
+pub trait Digest: Default {
+    /// Number of bytes in the digest output.
+    const OUTPUT_LEN: usize;
+
+    /// Human-readable algorithm name (e.g. `"sha1"`).
+    const NAME: &'static str;
+
+    /// Creates a fresh hasher state.
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds `data` into the hasher.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the raw digest bytes.
+    fn finalize(self) -> Vec<u8>;
+
+    /// Convenience one-shot digest of `data`.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot digest of `data`, truncated/zero-padded into a [`Fingerprint`].
+    fn fingerprint(data: &[u8]) -> Fingerprint {
+        Fingerprint::from_digest(&Self::digest(data))
+    }
+}
+
+/// The fingerprinting algorithm used by a backup client.
+///
+/// The paper evaluates both SHA-1 and MD5 for chunk fingerprinting (Figure 4(a)) and
+/// selects SHA-1 for its lower collision probability.  This enum lets higher layers
+/// pick either at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FingerprintAlgorithm {
+    /// 160-bit SHA-1 (the paper's default).
+    Sha1,
+    /// 128-bit MD5 (roughly 2x faster, higher collision probability).
+    Md5,
+}
+
+impl Default for FingerprintAlgorithm {
+    fn default() -> Self {
+        FingerprintAlgorithm::Sha1
+    }
+}
+
+impl FingerprintAlgorithm {
+    /// Computes the fingerprint of `data` with the selected algorithm.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sigma_hashkit::FingerprintAlgorithm;
+    /// let fp = FingerprintAlgorithm::Sha1.fingerprint(b"abc");
+    /// assert_ne!(fp, FingerprintAlgorithm::Md5.fingerprint(b"abc"));
+    /// ```
+    pub fn fingerprint(self, data: &[u8]) -> Fingerprint {
+        match self {
+            FingerprintAlgorithm::Sha1 => Sha1::fingerprint(data),
+            FingerprintAlgorithm::Md5 => Md5::fingerprint(data),
+        }
+    }
+
+    /// Digest output length in bytes.
+    pub fn output_len(self) -> usize {
+        match self {
+            FingerprintAlgorithm::Sha1 => Sha1::OUTPUT_LEN,
+            FingerprintAlgorithm::Md5 => Md5::OUTPUT_LEN,
+        }
+    }
+
+    /// Algorithm name, e.g. `"sha1"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FingerprintAlgorithm::Sha1 => Sha1::NAME,
+            FingerprintAlgorithm::Md5 => Md5::NAME,
+        }
+    }
+}
+
+impl std::fmt::Display for FingerprintAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FingerprintAlgorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sha1" | "sha-1" => Ok(FingerprintAlgorithm::Sha1),
+            "md5" => Ok(FingerprintAlgorithm::Md5),
+            _ => Err(ParseAlgorithmError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Error returned when parsing a [`FingerprintAlgorithm`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown fingerprint algorithm `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+/// A rolling hash over a fixed-size sliding window of bytes.
+///
+/// Implemented by [`RabinHasher`] and [`GearHasher`]; the content-defined chunkers in
+/// `sigma-chunking` are generic over this trait.
+pub trait RollingHash {
+    /// Resets the hasher to its initial (empty-window) state.
+    fn reset(&mut self);
+
+    /// Pushes one byte into the window and returns the updated hash value.
+    fn roll(&mut self, byte: u8) -> u64;
+
+    /// Current hash value of the window contents.
+    fn value(&self) -> u64;
+
+    /// The sliding-window size in bytes (0 when the hash does not maintain an
+    /// explicit window, as for the gear hash).
+    fn window_size(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_roundtrip_parse() {
+        for (s, a) in [
+            ("sha1", FingerprintAlgorithm::Sha1),
+            ("SHA-1", FingerprintAlgorithm::Sha1),
+            ("md5", FingerprintAlgorithm::Md5),
+            ("MD5", FingerprintAlgorithm::Md5),
+        ] {
+            assert_eq!(s.parse::<FingerprintAlgorithm>().unwrap(), a);
+        }
+        assert!("blake3".parse::<FingerprintAlgorithm>().is_err());
+    }
+
+    #[test]
+    fn algorithm_display_matches_name() {
+        assert_eq!(FingerprintAlgorithm::Sha1.to_string(), "sha1");
+        assert_eq!(FingerprintAlgorithm::Md5.to_string(), "md5");
+    }
+
+    #[test]
+    fn algorithm_output_lengths() {
+        assert_eq!(FingerprintAlgorithm::Sha1.output_len(), 20);
+        assert_eq!(FingerprintAlgorithm::Md5.output_len(), 16);
+    }
+
+    #[test]
+    fn one_shot_matches_streaming() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut s = Sha1::new();
+        for b in data.chunks(7) {
+            s.update(b);
+        }
+        assert_eq!(s.finalize(), Sha1::digest(data));
+    }
+
+    #[test]
+    fn fingerprints_differ_between_algorithms() {
+        let fp_sha = FingerprintAlgorithm::Sha1.fingerprint(b"same input");
+        let fp_md5 = FingerprintAlgorithm::Md5.fingerprint(b"same input");
+        assert_ne!(fp_sha, fp_md5);
+    }
+}

@@ -1,0 +1,334 @@
+//! Rabin fingerprinting: a rolling hash over GF(2) polynomials.
+//!
+//! Content-defined chunking (CDC) — including the TTTD variant used by the paper —
+//! slides a fixed-size window over the data stream and declares a chunk boundary
+//! whenever the Rabin fingerprint of the window matches a divisor condition.  This
+//! module implements the classic table-driven Rabin fingerprint (as popularised by
+//! LBFS) with an explicit sliding window.
+
+use crate::RollingHash;
+
+/// A degree-53 irreducible polynomial over GF(2), the classic LBFS choice.
+///
+/// The top set bit encodes the leading coefficient (x^53).
+pub const DEFAULT_IRREDUCIBLE_POLY: u64 = 0x003D_A335_8B4D_C173;
+
+/// Default sliding-window width in bytes.
+pub const DEFAULT_WINDOW_SIZE: usize = 48;
+
+/// Parameters for a [`RabinHasher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RabinParams {
+    /// The irreducible polynomial (with its leading coefficient bit set).
+    pub poly: u64,
+    /// Sliding-window width in bytes.
+    pub window_size: usize,
+}
+
+impl Default for RabinParams {
+    fn default() -> Self {
+        RabinParams {
+            poly: DEFAULT_IRREDUCIBLE_POLY,
+            window_size: DEFAULT_WINDOW_SIZE,
+        }
+    }
+}
+
+/// Degree of a GF(2) polynomial represented as a bit mask.
+fn degree(poly: u64) -> u32 {
+    63 - poly.leading_zeros()
+}
+
+/// Reduces a 128-bit GF(2) polynomial modulo `poly`.
+fn polymod128(mut value: u128, poly: u64) -> u64 {
+    let deg = degree(poly) as u32;
+    let poly128 = poly as u128;
+    let mut bit = 127u32;
+    loop {
+        if value >> bit & 1 == 1 && bit >= deg {
+            value ^= poly128 << (bit - deg);
+        }
+        if bit == 0 {
+            break;
+        }
+        bit -= 1;
+    }
+    value as u64
+}
+
+/// Carry-less multiplication of two GF(2) polynomials (result up to 127 bits).
+fn polymul(a: u64, b: u64) -> u128 {
+    let mut result = 0u128;
+    let a = a as u128;
+    for i in 0..64 {
+        if b >> i & 1 == 1 {
+            result ^= a << i;
+        }
+    }
+    result
+}
+
+/// Multiplies two polynomials modulo `poly`.
+fn polymulmod(a: u64, b: u64, poly: u64) -> u64 {
+    polymod128(polymul(a, b), poly)
+}
+
+/// A table-driven Rabin rolling hash with an explicit byte window.
+///
+/// # Example
+///
+/// ```
+/// use sigma_hashkit::{RabinHasher, RabinParams, RollingHash};
+///
+/// let mut h = RabinHasher::new(RabinParams::default());
+/// let data = b"some streaming data that is longer than the window .....";
+/// for &b in data.iter() {
+///     h.roll(b);
+/// }
+/// let v = h.value();
+/// assert_ne!(v, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RabinHasher {
+    params: RabinParams,
+    /// Degree of the polynomial.
+    deg: u32,
+    /// Mask keeping values below 2^deg.
+    mask: u64,
+    /// Shift extracting the byte that overflows past the degree when appending.
+    shift: u32,
+    /// Append table: cancels the overflowing byte and adds its reduced equivalent.
+    append_table: [u64; 256],
+    /// Remove table: contribution of the outgoing (oldest) window byte.
+    remove_table: [u64; 256],
+    window: Vec<u8>,
+    window_pos: usize,
+    window_filled: usize,
+    hash: u64,
+}
+
+impl RabinHasher {
+    /// Creates a new hasher with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is less than 9 (the table method needs at
+    /// least one full byte of headroom) or the window size is zero.
+    pub fn new(params: RabinParams) -> Self {
+        let deg = degree(params.poly);
+        assert!(
+            (9..=56).contains(&deg),
+            "polynomial degree must be between 9 and 56"
+        );
+        assert!(params.window_size > 0, "window size must be non-zero");
+
+        let shift = deg - 8;
+        let mask = (1u64 << deg) - 1;
+
+        // x^deg mod P
+        let x_deg_mod = polymod128(1u128 << deg, params.poly);
+        let mut append_table = [0u64; 256];
+        for (j, entry) in append_table.iter_mut().enumerate() {
+            // (j * x^deg) mod P, together with the bits j << deg that the append
+            // operation must cancel.
+            *entry = polymulmod(j as u64, x_deg_mod, params.poly) | ((j as u64) << deg);
+        }
+
+        // The outgoing byte of a full window contributes b * x^(8*(W-1)); precompute
+        // x^(8*(W-1)) mod P and multiply per byte value.
+        let mut x_out = 1u64;
+        let x8 = polymod128(1u128 << 8, params.poly);
+        for _ in 0..(params.window_size - 1) {
+            x_out = polymulmod(x_out, x8, params.poly);
+        }
+        let mut remove_table = [0u64; 256];
+        for (j, entry) in remove_table.iter_mut().enumerate() {
+            *entry = polymulmod(j as u64, x_out, params.poly);
+        }
+
+        RabinHasher {
+            deg,
+            mask,
+            shift,
+            append_table,
+            remove_table,
+            window: vec![0u8; params.window_size],
+            window_pos: 0,
+            window_filled: 0,
+            hash: 0,
+            params,
+        }
+    }
+
+    /// Creates a hasher with the default polynomial and window size.
+    pub fn with_defaults() -> Self {
+        Self::new(RabinParams::default())
+    }
+
+    /// The parameters this hasher was created with.
+    pub fn params(&self) -> RabinParams {
+        self.params
+    }
+
+    /// Polynomial degree.
+    pub fn poly_degree(&self) -> u32 {
+        self.deg
+    }
+
+    #[inline]
+    fn append_byte(&self, hash: u64, byte: u8) -> u64 {
+        let top = (hash >> self.shift) as usize & 0xff;
+        (((hash << 8) | byte as u64) ^ self.append_table[top]) & self.mask
+    }
+}
+
+impl Default for RabinHasher {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl RollingHash for RabinHasher {
+    fn reset(&mut self) {
+        self.hash = 0;
+        self.window_pos = 0;
+        self.window_filled = 0;
+        self.window.iter_mut().for_each(|b| *b = 0);
+    }
+
+    fn roll(&mut self, byte: u8) -> u64 {
+        if self.window_filled == self.window.len() {
+            let outgoing = self.window[self.window_pos];
+            self.hash ^= self.remove_table[outgoing as usize];
+        } else {
+            self.window_filled += 1;
+        }
+        self.window[self.window_pos] = byte;
+        self.window_pos = (self.window_pos + 1) % self.window.len();
+        self.hash = self.append_byte(self.hash, byte);
+        self.hash
+    }
+
+    fn value(&self) -> u64 {
+        self.hash
+    }
+
+    fn window_size(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fingerprint_of(data: &[u8], params: RabinParams) -> u64 {
+        let mut h = RabinHasher::new(params);
+        for &b in data {
+            h.roll(b);
+        }
+        h.value()
+    }
+
+    #[test]
+    fn window_only_depends_on_last_w_bytes() {
+        let params = RabinParams {
+            window_size: 16,
+            ..RabinParams::default()
+        };
+        let tail: Vec<u8> = (0..16u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+
+        let mut prefix_a = vec![1u8; 100];
+        prefix_a.extend_from_slice(&tail);
+        let mut prefix_b = vec![250u8; 7];
+        prefix_b.extend_from_slice(&tail);
+
+        assert_eq!(
+            fingerprint_of(&prefix_a, params),
+            fingerprint_of(&prefix_b, params),
+            "hash must be a function of the window contents only"
+        );
+    }
+
+    #[test]
+    fn different_windows_hash_differently() {
+        let params = RabinParams::default();
+        let a = fingerprint_of(b"abcdefghabcdefghabcdefghabcdefghabcdefghabcdefgh", params);
+        let b = fingerprint_of(b"abcdefghabcdefghabcdefghabcdefghabcdefghabcdefgX", params);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = RabinHasher::with_defaults();
+        for &b in b"some data".iter() {
+            h.roll(b);
+        }
+        h.reset();
+        assert_eq!(h.value(), 0);
+        let v1 = {
+            for &b in b"replay".iter() {
+                h.roll(b);
+            }
+            h.value()
+        };
+        let mut fresh = RabinHasher::with_defaults();
+        for &b in b"replay".iter() {
+            fresh.roll(b);
+        }
+        assert_eq!(v1, fresh.value());
+    }
+
+    #[test]
+    fn value_stays_below_degree() {
+        let mut h = RabinHasher::with_defaults();
+        let limit = 1u64 << h.poly_degree();
+        for i in 0..10_000u32 {
+            let v = h.roll((i % 251) as u8);
+            assert!(v < limit);
+        }
+    }
+
+    #[test]
+    fn polymod_reduces_below_poly_degree() {
+        let poly = DEFAULT_IRREDUCIBLE_POLY;
+        let deg = degree(poly);
+        for v in [0u128, 1, 0xdeadbeef, u64::MAX as u128, u128::MAX / 3] {
+            assert!(polymod128(v, poly) < (1u64 << deg));
+        }
+    }
+
+    #[test]
+    fn polymul_matches_schoolbook_for_small_inputs() {
+        // (x+1)*(x+1) = x^2 + 1 over GF(2)
+        assert_eq!(polymul(0b11, 0b11), 0b101);
+        // x * x^2 = x^3
+        assert_eq!(polymul(0b10, 0b100), 0b1000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_window_locality(
+            prefix_a in proptest::collection::vec(any::<u8>(), 0..200),
+            prefix_b in proptest::collection::vec(any::<u8>(), 0..200),
+            tail in proptest::collection::vec(any::<u8>(), 48..128),
+        ) {
+            let params = RabinParams::default();
+            let mut a = prefix_a.clone();
+            a.extend_from_slice(&tail);
+            let mut b = prefix_b.clone();
+            b.extend_from_slice(&tail);
+            prop_assert_eq!(fingerprint_of(&a, params), fingerprint_of(&b, params));
+        }
+
+        #[test]
+        fn prop_value_bounded(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut h = RabinHasher::with_defaults();
+            let limit = 1u64 << h.poly_degree();
+            for &byte in &data {
+                prop_assert!(h.roll(byte) < limit);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment exposes a `run(...)` function taking explicit size parameters
+//! (so unit tests can run them at tiny scale and `cargo bench` at the reporting
+//! scale) and a `render(...)` helper that formats the result the way the paper's
+//! table or figure reports it.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`table1`] | Table 1 — qualitative comparison of routing schemes |
+//! | [`fig1`] | Figure 1 — handprint resemblance estimation vs. handprint size |
+//! | [`table2`] | Table 2 — workload characteristics (size, deduplication ratio) |
+//! | [`fig4a`] | Figure 4(a) — chunking and fingerprinting throughput vs. streams |
+//! | [`fig4b`] | Figure 4(b) — parallel similarity-index lookup vs. lock count |
+//! | [`fig5a`] | Figure 5(a) — single-node deduplication efficiency vs. chunk size |
+//! | [`fig5b`] | Figure 5(b) — deduplication ratio vs. handprint sampling rate |
+//! | [`fig6`] | Figure 6 — cluster deduplication ratio vs. handprint size |
+//! | [`fig7`] | Figure 7 — fingerprint-lookup messages vs. cluster size |
+//! | [`fig8`] | Figure 8 — normalized effective deduplication ratio vs. cluster size |
+
+pub mod fig1;
+pub mod fig4a;
+pub mod fig4b;
+pub mod fig5a;
+pub mod fig5b;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;

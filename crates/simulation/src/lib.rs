@@ -1,0 +1,36 @@
+//! Trace-driven cluster-deduplication simulation and the paper's experiments.
+//!
+//! The paper evaluates Σ-Dedupe with a real single-node prototype plus trace-driven
+//! simulation of the cluster (Section 4).  This crate is the equivalent harness:
+//!
+//! * [`runner`] — drives a [`sigma_workloads::DatasetTrace`] through a
+//!   [`sigma_core::DedupCluster`] with any routing scheme and collects the paper's
+//!   metrics (cluster DR, storage skew, fingerprint-lookup messages, NEDR).
+//! * [`experiments`] — one module per table/figure of the paper; each produces the
+//!   rows/series of that figure and can render them as a text table.  The
+//!   `sigma-bench` crate invokes these from `cargo bench`, and the examples print
+//!   selected ones.
+//!
+//! # Example
+//!
+//! ```
+//! use sigma_simulation::runner::{run_cluster, SimulationConfig};
+//! use sigma_core::SimilarityRouter;
+//! use sigma_workloads::{presets, Scale};
+//!
+//! let dataset = presets::web_dataset(Scale::Tiny);
+//! let summary = run_cluster(
+//!     &dataset,
+//!     Box::new(SimilarityRouter::new(true)),
+//!     &SimulationConfig { node_count: 4, ..SimulationConfig::default() },
+//! );
+//! assert_eq!(summary.nodes, 4);
+//! assert!(summary.dedup_ratio >= 1.0);
+//! assert!(summary.nedr() <= 1.0 + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;

@@ -1,0 +1,202 @@
+//! The traditional on-disk chunk fingerprint index.
+//!
+//! Every unique chunk stored by a node gets an entry mapping its fingerprint to the
+//! container (and offset) holding it.  For a large dataset this index does not fit in
+//! RAM — that is exactly the disk-bottleneck problem Σ-Dedupe's similarity index and
+//! fingerprint cache are designed to avoid — so lookups against it are charged to the
+//! [`DiskModel`](crate::DiskModel) as random reads.  The paper keeps this index only
+//! as a fallback for fingerprints that miss in the cache and treats such misses as a
+//! "relatively rare occurrence" (Section 3.3); experiments can also disable it to
+//! obtain the similarity-index-only approximate deduplication mode of Figure 5(b).
+
+use crate::{ContainerId, DiskModel};
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a unique chunk is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkLocation {
+    /// Container holding the chunk.
+    pub container: ContainerId,
+    /// Offset of the chunk within the container's data section.
+    pub offset: u32,
+    /// Chunk length in bytes.
+    pub len: u32,
+}
+
+/// Statistics of a [`ChunkIndex`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkIndexStats {
+    /// Lookup operations (each charged as one simulated random disk read).
+    pub lookups: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Insert operations.
+    pub inserts: u64,
+    /// Current number of entries.
+    pub entries: u64,
+}
+
+/// A hash-table chunk index with simulated-disk accounting.
+///
+/// # Example
+///
+/// ```
+/// use sigma_storage::{ChunkIndex, ChunkLocation, ContainerId};
+/// use sigma_hashkit::{Digest, Sha1};
+///
+/// let index = ChunkIndex::new();
+/// let fp = Sha1::fingerprint(b"unique chunk");
+/// let loc = ChunkLocation { container: ContainerId::new(1), offset: 0, len: 17 };
+/// assert!(index.insert(fp, loc).is_none());
+/// assert_eq!(index.lookup(&fp), Some(loc));
+/// ```
+#[derive(Debug, Default)]
+pub struct ChunkIndex {
+    map: parking_lot::RwLock<HashMap<Fingerprint, ChunkLocation>>,
+    disk: Option<Arc<DiskModel>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl ChunkIndex {
+    /// Creates an index without disk accounting.
+    pub fn new() -> Self {
+        ChunkIndex::default()
+    }
+
+    /// Creates an index whose lookups are charged to `disk` as random reads and whose
+    /// inserts are charged as random writes.
+    pub fn with_disk(disk: Arc<DiskModel>) -> Self {
+        ChunkIndex {
+            disk: Some(disk),
+            ..ChunkIndex::default()
+        }
+    }
+
+    /// Inserts an entry, returning the previous location if the fingerprint was
+    /// already present.
+    pub fn insert(&self, fp: Fingerprint, location: ChunkLocation) -> Option<ChunkLocation> {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.record_random_write();
+        }
+        self.map.write().insert(fp, location)
+    }
+
+    /// Looks up the location of a chunk fingerprint.
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<ChunkLocation> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.record_random_read();
+        }
+        let found = self.map.read().get(fp).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// True if the fingerprint is indexed (without charging a disk access or
+    /// incrementing the lookup statistics — used by invariant checks in tests).
+    pub fn contains_silent(&self, fp: &Fingerprint) -> bool {
+        self.map.read().contains_key(fp)
+    }
+
+    /// Number of indexed chunks.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated size in bytes (entries × 40 B, the paper's index-entry estimate).
+    pub fn estimated_bytes(&self) -> usize {
+        self.len() * 40
+    }
+
+    /// Snapshot of the index statistics.
+    pub fn stats(&self) -> ChunkIndexStats {
+        ChunkIndexStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskParams;
+    use sigma_hashkit::{Digest, Sha1};
+
+    fn fp(i: u64) -> Fingerprint {
+        Sha1::fingerprint(&i.to_le_bytes())
+    }
+
+    fn loc(c: u64, offset: u32) -> ChunkLocation {
+        ChunkLocation {
+            container: ContainerId::new(c),
+            offset,
+            len: 4096,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = ChunkIndex::new();
+        assert!(idx.insert(fp(1), loc(1, 0)).is_none());
+        assert_eq!(idx.insert(fp(1), loc(2, 0)), Some(loc(1, 0)));
+        assert_eq!(idx.lookup(&fp(1)), Some(loc(2, 0)));
+        assert_eq!(idx.lookup(&fp(2)), None);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn stats_and_size_estimate() {
+        let idx = ChunkIndex::new();
+        for i in 0..50u64 {
+            idx.insert(fp(i), loc(i, 0));
+        }
+        for i in 0..100u64 {
+            idx.lookup(&fp(i));
+        }
+        let s = idx.stats();
+        assert_eq!(s.inserts, 50);
+        assert_eq!(s.lookups, 100);
+        assert_eq!(s.hits, 50);
+        assert_eq!(s.entries, 50);
+        assert_eq!(idx.estimated_bytes(), 50 * 40);
+    }
+
+    #[test]
+    fn disk_accounting_charges_lookups_and_inserts() {
+        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        let idx = ChunkIndex::with_disk(disk.clone());
+        idx.insert(fp(1), loc(1, 0));
+        idx.lookup(&fp(1));
+        idx.lookup(&fp(2));
+        let d = disk.stats();
+        assert_eq!(d.random_writes, 1);
+        assert_eq!(d.random_reads, 2);
+    }
+
+    #[test]
+    fn contains_silent_does_not_touch_stats() {
+        let idx = ChunkIndex::new();
+        idx.insert(fp(1), loc(1, 0));
+        assert!(idx.contains_silent(&fp(1)));
+        assert!(!idx.contains_silent(&fp(2)));
+        assert_eq!(idx.stats().lookups, 0);
+    }
+}

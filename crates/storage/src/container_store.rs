@@ -1,0 +1,486 @@
+//! Parallel container management.
+//!
+//! The deduplication server keeps one *open* container per incoming data stream so
+//! that the chunks of different backup streams do not interleave (which would destroy
+//! the locality the fingerprint cache depends on).  When an open container fills up
+//! it is sealed, charged to the disk model as a sequential write, and a new one is
+//! opened.  Sealed containers can be read back for restores and for fingerprint
+//! prefetching.
+
+use crate::{
+    Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Result, StorageError,
+};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::Fingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a backup data stream within one node.
+pub type StreamId = u64;
+
+/// Default container data-section capacity: 4 MB, as in the Data Domain design the
+/// paper builds on.
+pub const DEFAULT_CONTAINER_CAPACITY: usize = 4 * 1024 * 1024;
+
+/// Aggregate statistics of a [`ContainerStore`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerStoreStats {
+    /// Containers sealed and written to (simulated) disk.
+    pub sealed_containers: u64,
+    /// Containers still open.
+    pub open_containers: u64,
+    /// Total bytes stored in sealed containers' data sections.
+    pub stored_bytes: u64,
+    /// Total chunks stored in sealed containers.
+    pub stored_chunks: u64,
+    /// Container metadata sections read back (fingerprint prefetches).
+    pub metadata_reads: u64,
+    /// Full container data reads (restores).
+    pub data_reads: u64,
+}
+
+struct StoreInner {
+    next_id: u64,
+    open: HashMap<StreamId, ContainerBuilder>,
+    sealed: HashMap<ContainerId, Container>,
+    stats: ContainerStoreStats,
+}
+
+/// A node-local store of open and sealed containers.
+///
+/// # Example
+///
+/// ```
+/// use sigma_storage::ContainerStore;
+/// use sigma_hashkit::{Digest, Sha1};
+///
+/// let store = ContainerStore::new(1024 * 1024);
+/// let payload = b"a unique chunk".to_vec();
+/// let fp = Sha1::fingerprint(&payload);
+/// let location = store.store_chunk(0, fp, &payload).unwrap();
+/// store.flush();
+/// assert_eq!(store.read_chunk(&location.container, &fp).unwrap(), payload);
+/// ```
+pub struct ContainerStore {
+    capacity: usize,
+    disk: Option<Arc<DiskModel>>,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for ContainerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ContainerStore")
+            .field("capacity", &self.capacity)
+            .field("open", &inner.open.len())
+            .field("sealed", &inner.sealed.len())
+            .finish()
+    }
+}
+
+/// Location information returned when a chunk is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredChunk {
+    /// Container the chunk was appended to.
+    pub container: ContainerId,
+    /// Offset within the container's data section.
+    pub offset: u32,
+    /// Chunk length in bytes.
+    pub len: u32,
+}
+
+impl ContainerStore {
+    /// Creates a store with the given per-container data capacity (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "container capacity must be non-zero");
+        ContainerStore {
+            capacity,
+            disk: None,
+            inner: Mutex::new(StoreInner {
+                next_id: 0,
+                open: HashMap::new(),
+                sealed: HashMap::new(),
+                stats: ContainerStoreStats::default(),
+            }),
+        }
+    }
+
+    /// Creates a store with the default 4 MB container capacity.
+    pub fn with_default_capacity() -> Self {
+        ContainerStore::new(DEFAULT_CONTAINER_CAPACITY)
+    }
+
+    /// Attaches a disk model: sealed containers are charged as sequential writes,
+    /// metadata and data reads as sequential reads.
+    pub fn with_disk(mut self, disk: Arc<DiskModel>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Per-container data capacity in bytes.
+    pub fn container_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a unique chunk to the open container of `stream`, sealing and rolling
+    /// over to a fresh container when the current one is full.
+    ///
+    /// Returns where the chunk was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ChunkTooLarge`] when a single chunk exceeds the
+    /// container capacity.
+    pub fn store_chunk(
+        &self,
+        stream: StreamId,
+        fingerprint: Fingerprint,
+        data: &[u8],
+    ) -> Result<StoredChunk> {
+        self.store_impl(stream, fingerprint, data.len(), Some(data))
+    }
+
+    /// Appends a *synthetic* chunk of `len` bytes: only its metadata record and
+    /// logical length are tracked, no payload is kept.  Used when a node is driven by
+    /// a fingerprint trace instead of real data; such chunks cannot be read back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ChunkTooLarge`] when a single chunk exceeds the
+    /// container capacity.
+    pub fn store_chunk_synthetic(
+        &self,
+        stream: StreamId,
+        fingerprint: Fingerprint,
+        len: u32,
+    ) -> Result<StoredChunk> {
+        self.store_impl(stream, fingerprint, len as usize, None)
+    }
+
+    fn store_impl(
+        &self,
+        stream: StreamId,
+        fingerprint: Fingerprint,
+        len: usize,
+        data: Option<&[u8]>,
+    ) -> Result<StoredChunk> {
+        if len > self.capacity {
+            return Err(StorageError::ChunkTooLarge {
+                chunk_size: len,
+                container_capacity: self.capacity,
+            });
+        }
+        let mut inner = self.inner.lock();
+
+        // Open a container for this stream on first use.
+        if !inner.open.contains_key(&stream) {
+            let id = ContainerId::new(inner.next_id);
+            inner.next_id += 1;
+            inner.open.insert(stream, ContainerBuilder::new(id, self.capacity));
+        }
+
+        // Roll over if the chunk does not fit.
+        let needs_roll = {
+            let open = inner.open.get(&stream).expect("just inserted");
+            !open.fits(len)
+        };
+        if needs_roll {
+            let id = ContainerId::new(inner.next_id);
+            inner.next_id += 1;
+            let fresh = ContainerBuilder::new(id, self.capacity);
+            let full = inner
+                .open
+                .insert(stream, fresh)
+                .expect("open container existed");
+            Self::seal_into(&mut inner, full, &self.disk);
+        }
+
+        let open = inner.open.get_mut(&stream).expect("open container exists");
+        let offset = open.used() as u32;
+        let appended = match data {
+            Some(bytes) => open.try_append(fingerprint, bytes),
+            None => open.try_append_synthetic(fingerprint, len as u32),
+        };
+        debug_assert!(appended, "chunk must fit after rollover");
+        let container = open.id();
+        Ok(StoredChunk {
+            container,
+            offset,
+            len: len as u32,
+        })
+    }
+
+    /// The container currently open for `stream`, if any.
+    pub fn open_container(&self, stream: StreamId) -> Option<ContainerId> {
+        self.inner.lock().open.get(&stream).map(|b| b.id())
+    }
+
+    fn seal_into(inner: &mut StoreInner, builder: ContainerBuilder, disk: &Option<Arc<DiskModel>>) {
+        let container = builder.seal();
+        if let Some(disk) = disk {
+            disk.record_sequential_transfer(
+                (container.data_size() + container.meta().serialized_size()) as u64,
+            );
+        }
+        inner.stats.sealed_containers += 1;
+        inner.stats.stored_bytes += container.data_size() as u64;
+        inner.stats.stored_chunks += container.chunk_count() as u64;
+        inner.sealed.insert(container.id(), container);
+    }
+
+    /// Seals every open container (end of a backup session).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        let open: Vec<ContainerBuilder> = inner.open.drain().map(|(_, b)| b).collect();
+        for builder in open {
+            if builder.chunk_count() > 0 {
+                Self::seal_into(&mut inner, builder, &self.disk);
+            }
+        }
+    }
+
+    /// Reads a sealed container's metadata section (fingerprint list).
+    ///
+    /// Charged to the disk model as a sequential read of the metadata section; this
+    /// is the "prefetch" operation behind the chunk fingerprint cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] if the container is not sealed.
+    pub fn read_metadata(&self, container: &ContainerId) -> Result<ContainerMeta> {
+        let mut inner = self.inner.lock();
+        inner.stats.metadata_reads += 1;
+        let sealed = inner.sealed.get(container).map(|c| c.meta().clone());
+        let meta = match sealed {
+            Some(m) => m,
+            None => {
+                // Still-open containers (written moments ago by some stream) are
+                // visible too: their fingerprints are in memory on a real server.
+                inner
+                    .open
+                    .values()
+                    .find(|b| b.id() == *container)
+                    .map(|b| b.clone().seal().meta().clone())
+                    .ok_or(StorageError::ContainerNotFound(*container))?
+            }
+        };
+        if let Some(disk) = &self.disk {
+            disk.record_sequential_transfer(meta.serialized_size() as u64);
+        }
+        Ok(meta)
+    }
+
+    /// Reads one chunk's payload from a sealed container (restore path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] if the container is unknown, or
+    /// [`StorageError::ChunkNotInContainer`] if the fingerprint is not stored there.
+    pub fn read_chunk(&self, container: &ContainerId, fp: &Fingerprint) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.stats.data_reads += 1;
+        // Check sealed containers first, then containers still open (their contents
+        // are in memory on a real server and readable immediately).
+        let open_copy;
+        let c = match inner.sealed.get(container) {
+            Some(c) => c,
+            None => {
+                open_copy = inner
+                    .open
+                    .values()
+                    .find(|b| b.id() == *container)
+                    .map(|b| b.clone().seal());
+                open_copy
+                    .as_ref()
+                    .ok_or(StorageError::ContainerNotFound(*container))?
+            }
+        };
+        let data = c
+            .chunk_data(fp)
+            .ok_or_else(|| StorageError::ChunkNotInContainer {
+                container: *container,
+                fingerprint: fp.to_string(),
+            })?
+            .to_vec();
+        if let Some(disk) = &self.disk {
+            disk.record_sequential_transfer(data.len() as u64);
+        }
+        Ok(data)
+    }
+
+    /// Total physical bytes stored (sealed + open containers' data sections).
+    pub fn physical_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        let open: u64 = inner.open.values().map(|b| b.used() as u64).sum();
+        inner.stats.stored_bytes + open
+    }
+
+    /// Number of sealed containers.
+    pub fn sealed_count(&self) -> usize {
+        self.inner.lock().sealed.len()
+    }
+
+    /// Snapshot of the store statistics.
+    pub fn stats(&self) -> ContainerStoreStats {
+        let inner = self.inner.lock();
+        let mut s = inner.stats;
+        s.open_containers = inner.open.len() as u64;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskParams;
+    use sigma_hashkit::{Digest, Sha1};
+
+    fn payload(i: u64, len: usize) -> (Fingerprint, Vec<u8>) {
+        let data: Vec<u8> = (0..len).map(|j| ((i as usize + j) % 251) as u8).collect();
+        (Sha1::fingerprint(&data), data)
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let store = ContainerStore::new(1024);
+        let (fp, data) = payload(1, 100);
+        let loc = store.store_chunk(0, fp, &data).unwrap();
+        store.flush();
+        assert_eq!(store.read_chunk(&loc.container, &fp).unwrap(), data);
+        assert_eq!(store.physical_bytes(), 100);
+    }
+
+    #[test]
+    fn rollover_when_container_fills() {
+        let store = ContainerStore::new(250);
+        let mut containers = std::collections::HashSet::new();
+        for i in 0..10u64 {
+            let (fp, data) = payload(i, 100);
+            let loc = store.store_chunk(0, fp, &data).unwrap();
+            containers.insert(loc.container);
+        }
+        // 100-byte chunks, 250-byte containers => 2 chunks per container => 5 containers.
+        assert_eq!(containers.len(), 5);
+        assert_eq!(store.stats().sealed_containers, 4, "last one still open");
+        store.flush();
+        assert_eq!(store.stats().sealed_containers, 5);
+        assert_eq!(store.stats().stored_chunks, 10);
+    }
+
+    #[test]
+    fn per_stream_containers_do_not_interleave() {
+        let store = ContainerStore::new(1024);
+        let (fp_a, data_a) = payload(1, 64);
+        let (fp_b, data_b) = payload(2, 64);
+        let loc_a = store.store_chunk(1, fp_a, &data_a).unwrap();
+        let loc_b = store.store_chunk(2, fp_b, &data_b).unwrap();
+        assert_ne!(loc_a.container, loc_b.container);
+        assert_eq!(store.stats().open_containers, 2);
+    }
+
+    #[test]
+    fn oversized_chunk_is_rejected() {
+        let store = ContainerStore::new(100);
+        let (fp, data) = payload(1, 200);
+        assert_eq!(
+            store.store_chunk(0, fp, &data),
+            Err(StorageError::ChunkTooLarge {
+                chunk_size: 200,
+                container_capacity: 100
+            })
+        );
+    }
+
+    #[test]
+    fn metadata_read_returns_fingerprints_in_write_order() {
+        let store = ContainerStore::new(10_000);
+        let mut expect = Vec::new();
+        let mut container = None;
+        for i in 0..5u64 {
+            let (fp, data) = payload(i, 50);
+            let loc = store.store_chunk(0, fp, &data).unwrap();
+            container = Some(loc.container);
+            expect.push(fp);
+        }
+        store.flush();
+        let meta = store.read_metadata(&container.unwrap()).unwrap();
+        let got: Vec<Fingerprint> = meta.fingerprints().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn missing_container_and_chunk_errors() {
+        let store = ContainerStore::new(1024);
+        let missing = ContainerId::new(99);
+        assert!(matches!(
+            store.read_metadata(&missing),
+            Err(StorageError::ContainerNotFound(_))
+        ));
+        let (fp, data) = payload(1, 10);
+        let loc = store.store_chunk(0, fp, &data).unwrap();
+        store.flush();
+        let (other_fp, _) = payload(2, 10);
+        assert!(matches!(
+            store.read_chunk(&loc.container, &other_fp),
+            Err(StorageError::ChunkNotInContainer { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_accounting_records_sequential_io() {
+        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        let store = ContainerStore::new(200).with_disk(disk.clone());
+        for i in 0..4u64 {
+            let (fp, data) = payload(i, 100);
+            store.store_chunk(0, fp, &data).unwrap();
+        }
+        store.flush();
+        let d = disk.stats();
+        assert!(d.sequential_ops >= 2, "sealed containers must be written");
+        assert!(d.sequential_bytes >= 400);
+    }
+
+    #[test]
+    fn flush_skips_empty_containers() {
+        let store = ContainerStore::new(1024);
+        store.flush();
+        assert_eq!(store.stats().sealed_containers, 0);
+    }
+
+    #[test]
+    fn synthetic_chunks_account_bytes_without_payload() {
+        let store = ContainerStore::new(1000);
+        let mut containers = std::collections::HashSet::new();
+        for i in 0..6u64 {
+            let (fp, _) = payload(i, 1);
+            let loc = store.store_chunk_synthetic(0, fp, 400).unwrap();
+            containers.insert(loc.container);
+        }
+        // 400-byte logical chunks in 1000-byte containers => 2 per container.
+        assert_eq!(containers.len(), 3);
+        store.flush();
+        assert_eq!(store.physical_bytes(), 2400);
+        assert_eq!(store.stats().stored_chunks, 6);
+        // Synthetic chunks cannot be read back.
+        let (fp0, _) = payload(0, 1);
+        let cid = *containers.iter().min().unwrap();
+        assert!(store.read_chunk(&cid, &fp0).is_err() || store.read_chunk(&cid, &fp0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metadata_of_open_container_is_visible() {
+        let store = ContainerStore::new(1_000_000);
+        let (fp, data) = payload(1, 100);
+        let loc = store.store_chunk(0, fp, &data).unwrap();
+        // Not flushed: the container is still open, but its metadata must be readable.
+        let meta = store.read_metadata(&loc.container).unwrap();
+        assert_eq!(meta.fingerprints().collect::<Vec<_>>(), vec![fp]);
+        assert_eq!(store.open_container(0), Some(loc.container));
+        assert_eq!(store.open_container(7), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the storage layer.
+
+use crate::ContainerId;
+
+/// Errors produced by container, index and cache operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A container with this ID does not exist.
+    ContainerNotFound(ContainerId),
+    /// The requested chunk is not present in the referenced container.
+    ChunkNotInContainer {
+        /// The container that was searched.
+        container: ContainerId,
+        /// Hex form of the missing fingerprint.
+        fingerprint: String,
+    },
+    /// An open container was expected for this stream but none exists.
+    NoOpenContainer(u64),
+    /// A chunk exceeded the configured container capacity.
+    ChunkTooLarge {
+        /// Size of the offending chunk in bytes.
+        chunk_size: usize,
+        /// Configured container capacity in bytes.
+        container_capacity: usize,
+    },
+    /// The container was already sealed and cannot accept more chunks.
+    ContainerSealed(ContainerId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::ContainerNotFound(id) => write!(f, "container {} not found", id),
+            StorageError::ChunkNotInContainer {
+                container,
+                fingerprint,
+            } => write!(
+                f,
+                "chunk {} not found in container {}",
+                fingerprint, container
+            ),
+            StorageError::NoOpenContainer(stream) => {
+                write!(f, "no open container for stream {}", stream)
+            }
+            StorageError::ChunkTooLarge {
+                chunk_size,
+                container_capacity,
+            } => write!(
+                f,
+                "chunk of {} bytes exceeds container capacity of {} bytes",
+                chunk_size, container_capacity
+            ),
+            StorageError::ContainerSealed(id) => write!(f, "container {} is sealed", id),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::ContainerNotFound(ContainerId::new(42));
+        assert!(e.to_string().contains("42"));
+        let e = StorageError::ChunkTooLarge {
+            chunk_size: 10,
+            container_capacity: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Storage substrate for Σ-Dedupe deduplication server nodes.
+//!
+//! Figure 3 of the paper shows the data structures inside a deduplication server:
+//!
+//! * a **similarity index** in RAM mapping representative fingerprints (RFPs) of
+//!   stored super-chunks to the **container ID** (CID) where they live, protected by
+//!   per-bucket locks so multiple backup streams can look up concurrently;
+//! * a **chunk fingerprint cache** that holds the full fingerprint lists of recently
+//!   accessed containers (prefetched from container metadata sections) with an LRU
+//!   replacement policy;
+//! * self-describing **containers** on disk, each with a data section (the chunks)
+//!   and a metadata section (fingerprint, offset, length per chunk), managed in
+//!   parallel with one open container per incoming data stream;
+//! * a traditional hash-table based **on-disk chunk index** kept only as a fallback
+//!   for fingerprints that miss in the cache.
+//!
+//! This crate implements all four structures plus a [`DiskModel`] that accounts for
+//! the simulated disk I/O they would generate, so the higher layers can report the
+//! index-lookup message and I/O counts that the paper uses as overhead metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunk_index;
+mod container;
+mod container_store;
+mod disk;
+mod error;
+mod fingerprint_cache;
+mod similarity_index;
+
+pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation};
+pub use container::{Container, ContainerBuilder, ContainerId, ContainerMeta, ChunkRecord};
+pub use container_store::{
+    ContainerStore, ContainerStoreStats, StoredChunk, StreamId, DEFAULT_CONTAINER_CAPACITY,
+};
+pub use disk::{DiskModel, DiskParams, DiskStats};
+pub use error::StorageError;
+pub use fingerprint_cache::{CacheStats, FingerprintCache};
+pub use similarity_index::{SimilarityIndex, SimilarityIndexStats};
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

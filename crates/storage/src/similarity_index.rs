@@ -1,0 +1,279 @@
+//! The similarity index: representative fingerprint → container ID.
+//!
+//! This is the central RAM structure of Σ-Dedupe's intra-node design (Section 3.3).
+//! Each entry maps a representative fingerprint (RFP — a member of some stored
+//! super-chunk's handprint) to the container that super-chunk was written to.  The
+//! index is consulted twice:
+//!
+//! 1. during **pre-routing**, when a backup client asks a candidate node how many of
+//!    a super-chunk's representative fingerprints it has already stored (the
+//!    resemblance count of Algorithm 1), and
+//! 2. during **deduplication**, when a matched RFP identifies a container whose full
+//!    fingerprint list is prefetched into the chunk fingerprint cache.
+//!
+//! To let multiple backup streams query concurrently on a multi-core node, the hash
+//! table is partitioned into lock *stripes*; Figure 4(b) of the paper studies the
+//! lookup throughput as a function of the number of locks, which is reproduced by
+//! the `fig4b_index_locks` bench.
+
+use crate::ContainerId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use sigma_hashkit::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate statistics of a [`SimilarityIndex`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimilarityIndexStats {
+    /// Number of lookup calls served.
+    pub lookups: u64,
+    /// Number of lookups that found an entry.
+    pub hits: u64,
+    /// Number of insert calls.
+    pub inserts: u64,
+    /// Current number of entries.
+    pub entries: u64,
+}
+
+impl SimilarityIndexStats {
+    /// Fraction of lookups that hit, or 0 when no lookups were made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A striped, thread-safe map from representative fingerprints to container IDs.
+///
+/// # Example
+///
+/// ```
+/// use sigma_storage::{ContainerId, SimilarityIndex};
+/// use sigma_hashkit::{Digest, Sha1};
+///
+/// let index = SimilarityIndex::new(64);
+/// let rfp = Sha1::fingerprint(b"representative");
+/// index.insert(rfp, ContainerId::new(3));
+/// assert_eq!(index.lookup(&rfp), Some(ContainerId::new(3)));
+/// assert_eq!(index.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimilarityIndex {
+    stripes: Vec<RwLock<HashMap<Fingerprint, ContainerId>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl SimilarityIndex {
+    /// Creates an index with `lock_count` lock stripes.
+    ///
+    /// The paper finds 1024 locks to be a good setting for 8 concurrent streams;
+    /// the count is rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock_count` is zero.
+    pub fn new(lock_count: usize) -> Self {
+        assert!(lock_count > 0, "lock count must be non-zero");
+        let stripes = lock_count.next_power_of_two();
+        SimilarityIndex {
+            stripes: (0..stripes).map(|_| RwLock::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes (always a power of two).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, fp: &Fingerprint) -> usize {
+        (fp.prefix_u64() as usize) & (self.stripes.len() - 1)
+    }
+
+    /// Inserts (or overwrites) the container mapping for a representative fingerprint.
+    pub fn insert(&self, rfp: Fingerprint, container: ContainerId) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.stripe_of(&rfp);
+        self.stripes[stripe].write().insert(rfp, container);
+    }
+
+    /// Looks up the container that stores the super-chunk this RFP belongs to.
+    pub fn lookup(&self, rfp: &Fingerprint) -> Option<ContainerId> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.stripe_of(rfp);
+        let found = self.stripes[stripe].read().get(rfp).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Counts how many of the given representative fingerprints are present.
+    ///
+    /// This is the "resemblance count" a candidate node returns during pre-routing
+    /// (step 2 of Algorithm 1); it costs one message regardless of handprint size.
+    pub fn count_matches(&self, rfps: &[Fingerprint]) -> usize {
+        rfps.iter().filter(|rfp| self.lookup(rfp).is_some()).count()
+    }
+
+    /// Looks up many RFPs at once, returning the matched container IDs (deduplicated,
+    /// in first-match order) for cache prefetching.
+    pub fn matched_containers(&self, rfps: &[Fingerprint]) -> Vec<ContainerId> {
+        let mut out = Vec::new();
+        for rfp in rfps {
+            if let Some(cid) = self.lookup(rfp) {
+                if !out.contains(&cid) {
+                    out.push(cid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Current number of entries across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated RAM usage in bytes (entries × (fingerprint + container id)).
+    ///
+    /// This is the figure used for the RAM-usage comparison of Section 4.3
+    /// (similarity index vs. full chunk index vs. Extreme Binning file index).
+    pub fn estimated_ram_bytes(&self) -> usize {
+        self.len() * (Fingerprint::LEN + std::mem::size_of::<ContainerId>())
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> SimilarityIndexStats {
+        SimilarityIndexStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl Default for SimilarityIndex {
+    /// An index with the paper's preferred 1024 lock stripes.
+    fn default() -> Self {
+        SimilarityIndex::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_hashkit::{Digest, Sha1};
+    use std::sync::Arc;
+
+    fn fp(i: u64) -> Fingerprint {
+        Sha1::fingerprint(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let idx = SimilarityIndex::new(8);
+        for i in 0..100u64 {
+            idx.insert(fp(i), ContainerId::new(i));
+        }
+        assert_eq!(idx.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(idx.lookup(&fp(i)), Some(ContainerId::new(i)));
+        }
+        assert_eq!(idx.lookup(&fp(1000)), None);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let idx = SimilarityIndex::new(4);
+        idx.insert(fp(1), ContainerId::new(1));
+        idx.insert(fp(1), ContainerId::new(2));
+        assert_eq!(idx.lookup(&fp(1)), Some(ContainerId::new(2)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn count_matches_counts_only_present() {
+        let idx = SimilarityIndex::new(4);
+        idx.insert(fp(1), ContainerId::new(1));
+        idx.insert(fp(2), ContainerId::new(1));
+        let queries = vec![fp(1), fp(2), fp(3), fp(4)];
+        assert_eq!(idx.count_matches(&queries), 2);
+    }
+
+    #[test]
+    fn matched_containers_deduplicates() {
+        let idx = SimilarityIndex::new(4);
+        idx.insert(fp(1), ContainerId::new(9));
+        idx.insert(fp(2), ContainerId::new(9));
+        idx.insert(fp(3), ContainerId::new(5));
+        let got = idx.matched_containers(&[fp(1), fp(2), fp(3), fp(4)]);
+        assert_eq!(got, vec![ContainerId::new(9), ContainerId::new(5)]);
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(SimilarityIndex::new(1).stripe_count(), 1);
+        assert_eq!(SimilarityIndex::new(3).stripe_count(), 4);
+        assert_eq!(SimilarityIndex::new(1000).stripe_count(), 1024);
+        assert_eq!(SimilarityIndex::default().stripe_count(), 1024);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let idx = SimilarityIndex::new(4);
+        idx.insert(fp(1), ContainerId::new(1));
+        idx.lookup(&fp(1));
+        idx.lookup(&fp(2));
+        let s = idx.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.entries, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ram_estimate_grows_linearly() {
+        let idx = SimilarityIndex::new(4);
+        assert_eq!(idx.estimated_ram_bytes(), 0);
+        for i in 0..10u64 {
+            idx.insert(fp(i), ContainerId::new(i));
+        }
+        assert_eq!(idx.estimated_ram_bytes(), 10 * (Fingerprint::LEN + 8));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let idx = Arc::new(SimilarityIndex::new(64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = idx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = t * 1000 + i;
+                    idx.insert(fp(key), ContainerId::new(key));
+                    assert_eq!(idx.lookup(&fp(key)), Some(ContainerId::new(key)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 8000);
+    }
+}

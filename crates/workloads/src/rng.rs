@@ -1,0 +1,187 @@
+//! Deterministic randomness and the distributions the generators need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator with the handful of sampling helpers the
+/// workload generators use.
+///
+/// # Example
+///
+/// ```
+/// use sigma_workloads::DeterministicRng;
+///
+/// let mut a = DeterministicRng::new(7);
+/// let mut b = DeterministicRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.uniform_f64() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    rng: StdRng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DeterministicRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` is zero.
+    pub fn below(&mut self, upper: u64) -> u64 {
+        assert!(upper > 0, "upper bound must be non-zero");
+        self.rng.gen_range(0..upper)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = (1.0 - self.uniform_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A sample from `LogNormal(mu, sigma)` (parameters of the underlying normal).
+    pub fn log_normal(&mut self, dist: LogNormal) -> f64 {
+        (dist.mu + dist.sigma * self.standard_normal()).exp()
+    }
+
+    /// Zipf-like rank selection over `n` items with exponent `s`, returning a rank in
+    /// `[0, n)` where small ranks are (much) more likely.
+    ///
+    /// Uses the standard inverse-CDF approximation for the Zipf distribution, which
+    /// is accurate enough for workload skew modelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "population must be non-zero");
+        if n == 1 {
+            return 0;
+        }
+        let u = self.uniform_f64().max(f64::MIN_POSITIVE);
+        if (s - 1.0).abs() < 1e-9 {
+            // Harmonic case: F(k) ~ ln(k) / ln(n).
+            let k = (n as f64).powf(u);
+            (k as u64 - 1).min(n - 1)
+        } else {
+            let exponent = 1.0 - s;
+            let k = ((u * ((n as f64).powf(exponent) - 1.0)) + 1.0).powf(1.0 / exponent);
+            (k as u64).saturating_sub(1).min(n - 1)
+        }
+    }
+}
+
+/// Parameters of a log-normal distribution (of the underlying normal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal distribution.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal distribution.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds parameters such that the distribution's *median* is `median` and its
+    /// spread factor (one sigma) is `spread` (> 1).
+    pub fn with_median(median: f64, spread: f64) -> Self {
+        LogNormal {
+            mu: median.max(f64::MIN_POSITIVE).ln(),
+            sigma: spread.max(1.0 + 1e-9).ln(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = DeterministicRng::new(123);
+        let mut b = DeterministicRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DeterministicRng::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = DeterministicRng::new(1);
+        for upper in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(upper) < upper);
+            }
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DeterministicRng::new(2);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn normal_mean_is_near_zero() {
+        let mut rng = DeterministicRng::new(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.standard_normal()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {}", mean);
+    }
+
+    #[test]
+    fn log_normal_median_matches() {
+        let mut rng = DeterministicRng::new(4);
+        let dist = LogNormal::with_median(64.0 * 1024.0, 4.0);
+        let mut samples: Vec<f64> = (0..5001).map(|_| rng.log_normal(dist)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median / (64.0 * 1024.0) - 1.0).abs() < 0.25,
+            "median = {}",
+            median
+        );
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let mut rng = DeterministicRng::new(5);
+        let n = 1000u64;
+        let samples: Vec<u64> = (0..20_000).map(|_| rng.zipf(n, 1.1)).collect();
+        assert!(samples.iter().all(|&s| s < n));
+        let top_decile = samples.iter().filter(|&&s| s < n / 10).count();
+        assert!(
+            top_decile > samples.len() / 2,
+            "zipf should concentrate mass on small ranks, got {}",
+            top_decile
+        );
+        // n = 1 always returns rank 0.
+        assert_eq!(rng.zipf(1, 1.1), 0);
+    }
+}

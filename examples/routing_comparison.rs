@@ -1,0 +1,89 @@
+//! Routing-scheme comparison: Σ-Dedupe vs. EMC stateless/stateful routing vs.
+//! Extreme Binning on the Linux-like workload across cluster sizes — a compact
+//! rendition of the paper's Table 1 / Figure 7 / Figure 8 story.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example routing_comparison
+//! ```
+
+use sigma_dedupe::baselines::{ExtremeBinningRouter, StatefulRouter, StatelessRouter};
+use sigma_dedupe::metrics::report::TextTable;
+use sigma_dedupe::simulation::experiments::table1;
+use sigma_dedupe::simulation::runner::{run_cluster, SimulationConfig};
+use sigma_dedupe::workloads::{presets, Scale};
+use sigma_dedupe::{DataRouter, SigmaConfig, SimilarityRouter};
+
+fn router(name: &str) -> Box<dyn DataRouter> {
+    match name {
+        "sigma" => Box::new(SimilarityRouter::new(true)),
+        "stateless" => Box::new(StatelessRouter::new()),
+        "stateful" => Box::new(StatefulRouter::new()),
+        "extreme-binning" => Box::new(ExtremeBinningRouter::new()),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+fn main() {
+    let scale = Scale::Small;
+    let dataset = presets::linux_dataset(scale);
+    println!(
+        "routing comparison on the Linux-like workload ({:.1} MiB logical, exact DR {:.2})\n",
+        dataset.logical_bytes() as f64 / (1 << 20) as f64,
+        dataset.exact_dedup_ratio()
+    );
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "nodes",
+        "normalized DR",
+        "skew",
+        "NEDR",
+        "lookup msgs",
+        "msgs vs stateless",
+    ]);
+
+    for &nodes in &[8usize, 32, 128] {
+        let stateless_baseline = run_cluster(
+            &dataset,
+            router("stateless"),
+            &SimulationConfig {
+                node_count: nodes,
+                sigma: SigmaConfig::default(),
+                client_streams: 8,
+            },
+        );
+        for scheme in ["sigma", "stateless", "stateful", "extreme-binning"] {
+            let summary = run_cluster(
+                &dataset,
+                router(scheme),
+                &SimulationConfig {
+                    node_count: nodes,
+                    sigma: SigmaConfig::default(),
+                    client_streams: 8,
+                },
+            );
+            table.add_row(vec![
+                scheme.to_string(),
+                nodes.to_string(),
+                format!("{:.3}", summary.normalized_dr()),
+                format!("{:.3}", summary.skew),
+                format!("{:.3}", summary.nedr()),
+                summary.total_lookups().to_string(),
+                format!(
+                    "{:.2}x",
+                    summary.total_lookups() as f64 / stateless_baseline.total_lookups() as f64
+                ),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("derived Table 1 (measured grades, 32 nodes):\n");
+    let rows = table1::run(table1::Table1Params {
+        scale,
+        cluster_size: 32,
+    });
+    println!("{}", table1::render(&rows));
+}

@@ -1,0 +1,64 @@
+//! Σ-Dedupe: a scalable inline cluster deduplication framework for Big Data
+//! protection.
+//!
+//! This is the façade crate of the workspace: it re-exports the public API of every
+//! component crate so applications can depend on `sigma-dedupe` alone.
+//!
+//! * [`core`] — super-chunks, handprinting, similarity-based stateful routing,
+//!   deduplication nodes, backup clients, the director and cluster orchestration
+//!   (the paper's primary contribution).
+//! * [`hashkit`] — SHA-1, MD5, Rabin and gear hashes, and the [`Fingerprint`] type.
+//! * [`chunking`] — static, CDC and TTTD chunkers.
+//! * [`storage`] — containers, chunk index, fingerprint cache, similarity index.
+//! * [`baselines`] — the comparison routing schemes (EMC stateless/stateful,
+//!   Extreme Binning, chunk-level DHT, round-robin).
+//! * [`workloads`] — synthetic stand-ins for the paper's four evaluation datasets.
+//! * [`metrics`] — deduplication ratio/efficiency, NEDR, skew, reporting helpers.
+//! * [`simulation`] — the trace-driven cluster simulation and the per-figure
+//!   experiment drivers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+//! use std::sync::Arc;
+//!
+//! let cluster = Arc::new(DedupCluster::with_similarity_router(4, SigmaConfig::default()));
+//! let client = BackupClient::new(cluster.clone(), 0);
+//! let report = client.backup_bytes("hello.txt", b"hello sigma-dedupe").unwrap();
+//! assert_eq!(cluster.restore_file(report.file_id).unwrap(), b"hello sigma-dedupe");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sigma_baselines as baselines;
+pub use sigma_chunking as chunking;
+pub use sigma_core as core;
+pub use sigma_hashkit as hashkit;
+pub use sigma_metrics as metrics;
+pub use sigma_simulation as simulation;
+pub use sigma_storage as storage;
+pub use sigma_workloads as workloads;
+
+pub use sigma_baselines::{
+    ChunkDhtRouter, ExtremeBinningRouter, RoundRobinRouter, StatefulRouter, StatelessRouter,
+};
+pub use sigma_core::{
+    BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
+    Handprint, SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkBuilder,
+};
+pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
+
+#[cfg(test)]
+mod tests {
+    use crate::Digest;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let config = crate::SigmaConfig::default();
+        assert_eq!(config.handprint_size, 8);
+        let fp = crate::Sha1::fingerprint(b"reexport");
+        assert_eq!(fp.as_bytes().len(), crate::Fingerprint::LEN);
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the trace-driven simulation across crates: workloads →
+//! routers → cluster → metrics, checking the paper's headline shapes end to end.
+
+use sigma_dedupe::baselines::{RoundRobinRouter, StatefulRouter, StatelessRouter};
+use sigma_dedupe::simulation::experiments::{fig7, fig8};
+use sigma_dedupe::simulation::runner::{run_cluster, SimulationConfig};
+use sigma_dedupe::workloads::{presets, Scale};
+use sigma_dedupe::{SigmaConfig, SimilarityRouter};
+
+fn config(nodes: usize) -> SimulationConfig {
+    SimulationConfig {
+        node_count: nodes,
+        sigma: SigmaConfig::default(),
+        client_streams: 4,
+    }
+}
+
+#[test]
+fn figure8_shape_on_all_four_workloads() {
+    // Σ-Dedupe must retain most of Stateful's NEDR and stay at or above Stateless on
+    // every workload (the Figure 8 story), even at test scale.
+    // Scaled-down data needs scaled-down super-chunks so every node still receives a
+    // meaningful number of routing units (see Fig8Params::super_chunk_size).
+    let params = fig8::Fig8Params {
+        scale: Scale::Small,
+        cluster_sizes: vec![8, 32],
+        super_chunk_size: 256 << 10,
+        include_balance_ablation: false,
+    };
+    let rows = fig8::run(&params);
+    assert!(fig8::capacity_shape_holds(&rows, 0.75), "{:#?}", rows);
+    // All four datasets are present.
+    let datasets: std::collections::HashSet<_> = rows.iter().map(|r| r.dataset.clone()).collect();
+    assert_eq!(datasets.len(), 4);
+}
+
+#[test]
+fn figure7_shape_on_linux_and_vm() {
+    let params = fig7::Fig7Params {
+        scale: Scale::Tiny,
+        cluster_sizes: vec![2, 8, 32],
+        super_chunk_size: 1 << 20,
+    };
+    let rows = fig7::run(&params);
+    assert!(fig7::overhead_shape_holds(&rows, 1.8), "{:#?}", rows);
+    // Stateful at 32 nodes sends far more lookups than Σ-Dedupe.
+    for dataset in ["Linux", "VM"] {
+        let of = |scheme: &str| {
+            rows.iter()
+                .find(|r| r.dataset == dataset && r.scheme == scheme && r.cluster_size == 32)
+                .unwrap()
+                .lookup_messages
+        };
+        assert!(of("stateful") > 3 * of("sigma"));
+    }
+}
+
+#[test]
+fn capacity_balancing_reduces_skew_against_no_balancing() {
+    let dataset = presets::web_dataset(Scale::Tiny);
+    let balanced = run_cluster(
+        &dataset,
+        Box::new(SimilarityRouter::new(true)),
+        &config(16),
+    );
+    let unbalanced = run_cluster(
+        &dataset,
+        Box::new(SimilarityRouter::new(false)),
+        &config(16),
+    );
+    assert!(
+        balanced.skew <= unbalanced.skew + 0.05,
+        "balanced skew {} vs unbalanced {}",
+        balanced.skew,
+        unbalanced.skew
+    );
+}
+
+#[test]
+fn round_robin_balances_but_does_not_deduplicate_across_nodes() {
+    let dataset = presets::linux_dataset(Scale::Tiny);
+    let round_robin = run_cluster(&dataset, Box::new(RoundRobinRouter::new()), &config(16));
+    let sigma = run_cluster(&dataset, Box::new(SimilarityRouter::new(true)), &config(16));
+    assert!(round_robin.skew < 0.3, "round-robin skew {}", round_robin.skew);
+    assert!(
+        sigma.dedup_ratio > 1.3 * round_robin.dedup_ratio,
+        "sigma {} vs round-robin {}",
+        sigma.dedup_ratio,
+        round_robin.dedup_ratio
+    );
+}
+
+#[test]
+fn stateless_and_stateful_bracket_sigma_dedupe() {
+    // The design goal: effectiveness close to Stateful, overhead close to Stateless.
+    let dataset = presets::mail_dataset(Scale::Tiny);
+    let cfg = config(32);
+    let sigma = run_cluster(&dataset, Box::new(SimilarityRouter::new(true)), &cfg);
+    let stateless = run_cluster(&dataset, Box::new(StatelessRouter::new()), &cfg);
+    let stateful = run_cluster(&dataset, Box::new(StatefulRouter::new()), &cfg);
+
+    assert!(sigma.nedr() >= stateless.nedr() * 0.95);
+    assert!(sigma.nedr() >= 0.75 * stateful.nedr());
+    assert!(sigma.total_lookups() < stateful.total_lookups());
+    assert!((sigma.total_lookups() as f64) < 1.4 * stateless.total_lookups() as f64);
+}
+
+#[test]
+fn single_node_cluster_equals_exact_dedup_for_every_workload() {
+    for dataset in presets::paper_datasets(Scale::Tiny) {
+        let summary = run_cluster(&dataset, Box::new(SimilarityRouter::new(true)), &config(1));
+        let exact = dataset.exact_dedup_ratio();
+        assert!(
+            (summary.dedup_ratio - exact).abs() / exact < 0.01,
+            "{}: cluster {} vs exact {}",
+            dataset.name,
+            summary.dedup_ratio,
+            exact
+        );
+    }
+}
