@@ -72,7 +72,10 @@ mod tests {
             let fp = Sha1::fingerprint(&i.to_le_bytes());
             let sc = SuperChunk::from_descriptors(
                 0,
-                vec![ChunkDescriptor::new(fp, ChunkDhtRouter::HYDRA_CHUNK_SIZE as u32)],
+                vec![ChunkDescriptor::new(
+                    fp,
+                    ChunkDhtRouter::HYDRA_CHUNK_SIZE as u32,
+                )],
             );
             let hp = sc.handprint(1);
             let d = router.route(&RoutingContext {

@@ -103,7 +103,11 @@ mod tests {
             assert!(d.target < 8);
             seen.insert(d.target);
         }
-        assert!(seen.len() >= 6, "expected most nodes to be used, got {}", seen.len());
+        assert!(
+            seen.len() >= 6,
+            "expected most nodes to be used, got {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn report() {
         lock_counts: vec![1, 4, 16, 64, 256, 1024, 4096, 16384, 65536],
         stream_counts: vec![1, 2, 4, 8, 16],
     });
-    sigma_bench::print_table("aggregate similarity-index lookups per second", &fig4b::render(&rows));
+    sigma_bench::print_table(
+        "aggregate similarity-index lookups per second",
+        &fig4b::render(&rows),
+    );
 }
 
 fn bench_index_lookup(c: &mut Criterion) {

@@ -1,7 +1,9 @@
 //! Table 1: comparison of cluster deduplication schemes (measured grades).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sigma_core::{DataRouter, DedupNode, RoutingContext, SigmaConfig, SimilarityRouter, SuperChunk};
+use sigma_core::{
+    DataRouter, DedupNode, RoutingContext, SigmaConfig, SimilarityRouter, SuperChunk,
+};
 use sigma_hashkit::{Digest, Sha1};
 use sigma_simulation::experiments::table1;
 use sigma_workloads::Scale;
@@ -25,7 +27,9 @@ fn report() {
 fn bench_routing_decision(c: &mut Criterion) {
     report();
     let config = SigmaConfig::default();
-    let nodes: Vec<Arc<DedupNode>> = (0..32).map(|i| Arc::new(DedupNode::new(i, &config))).collect();
+    let nodes: Vec<Arc<DedupNode>> = (0..32)
+        .map(|i| Arc::new(DedupNode::new(i, &config)))
+        .collect();
     let sc = SuperChunk::from_descriptors(
         0,
         (0..256u64)

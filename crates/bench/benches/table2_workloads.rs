@@ -5,7 +5,10 @@ use sigma_simulation::experiments::table2;
 use sigma_workloads::{presets, Scale};
 
 fn report() {
-    sigma_bench::banner("Table 2", "workload characteristics of the four evaluation datasets");
+    sigma_bench::banner(
+        "Table 2",
+        "workload characteristics of the four evaluation datasets",
+    );
     let rows = table2::run(Scale::Small);
     sigma_bench::print_table(
         "synthetic stand-ins at the Small scale (sizes shrink, redundancy structure is preserved)",

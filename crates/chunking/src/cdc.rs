@@ -197,7 +197,11 @@ mod tests {
             .into_iter()
             .map(|ch| ch.into_data())
             .collect();
-        let chunks_b: Vec<Vec<u8>> = c.split(&shifted).into_iter().map(|ch| ch.into_data()).collect();
+        let chunks_b: Vec<Vec<u8>> = c
+            .split(&shifted)
+            .into_iter()
+            .map(|ch| ch.into_data())
+            .collect();
 
         let shared = chunks_b.iter().filter(|ch| chunks_a.contains(*ch)).count();
         let ratio = shared as f64 / chunks_b.len() as f64;

@@ -209,8 +209,14 @@ mod tests {
     #[test]
     fn build_produces_matching_chunkers() {
         assert_eq!(ChunkerParams::fixed(2048).build().name(), "sc-2048");
-        assert_eq!(ChunkerParams::cdc(512, 2048, 8192).build().name(), "cdc-2048");
-        assert!(ChunkerParams::tttd_default().build().name().starts_with("tttd-"));
+        assert_eq!(
+            ChunkerParams::cdc(512, 2048, 8192).build().name(),
+            "cdc-2048"
+        );
+        assert!(ChunkerParams::tttd_default()
+            .build()
+            .name()
+            .starts_with("tttd-"));
     }
 
     #[test]
@@ -224,7 +230,9 @@ mod tests {
     fn built_chunkers_report_requested_average() {
         for avg in [1024usize, 4096, 8192] {
             assert_eq!(
-                ChunkerParams::cdc_with_average(avg).build().average_chunk_size(),
+                ChunkerParams::cdc_with_average(avg)
+                    .build()
+                    .average_chunk_size(),
                 avg
             );
             assert_eq!(ChunkerParams::fixed(avg).build().average_chunk_size(), avg);

@@ -11,8 +11,8 @@
 //! mean, major mean, maximum) for the super-chunk resemblance study of Section 2.2.
 
 use crate::Chunker;
-use sigma_hashkit::{RabinHasher, RabinParams, RollingHash};
 use serde::{Deserialize, Serialize};
+use sigma_hashkit::{RabinHasher, RabinParams, RollingHash};
 
 /// Parameters of the TTTD chunker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -168,7 +168,10 @@ impl Chunker for TttdChunker {
     fn name(&self) -> String {
         format!(
             "tttd-{}-{}-{}-{}",
-            self.params.min_size, self.params.minor_mean, self.params.major_mean, self.params.max_size
+            self.params.min_size,
+            self.params.minor_mean,
+            self.params.major_mean,
+            self.params.max_size
         )
     }
 }

@@ -140,10 +140,8 @@ impl BackupClient {
         let mut pending: Vec<SuperChunk> = Vec::new();
         for chunk in chunker.split(&data) {
             report.chunks += 1;
-            let descriptor = ChunkDescriptor::new(
-                algorithm.fingerprint(chunk.data()),
-                chunk.len() as u32,
-            );
+            let descriptor =
+                ChunkDescriptor::new(algorithm.fingerprint(chunk.data()), chunk.len() as u32);
             if let Some(sc) = builder.push_chunk(descriptor, chunk.into_data()) {
                 pending.push(sc);
             }
@@ -170,12 +168,10 @@ impl BackupClient {
             }
         }
 
-        report.file_id = self.cluster.director().register_file(
-            self.session_id,
-            name,
-            data.len() as u64,
-            recipe,
-        );
+        report.file_id =
+            self.cluster
+                .director()
+                .register_file(self.session_id, name, data.len() as u64, recipe);
         Ok(report)
     }
 
@@ -275,6 +271,9 @@ mod tests {
     fn restore_of_missing_file_is_an_error() {
         let cluster = small_cluster();
         let client = BackupClient::new(cluster, 0);
-        assert!(matches!(client.restore(999), Err(SigmaError::FileNotFound(999))));
+        assert!(matches!(
+            client.restore(999),
+            Err(SigmaError::FileNotFound(999))
+        ));
     }
 }

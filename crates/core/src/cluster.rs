@@ -228,7 +228,11 @@ impl DedupCluster {
     ///
     /// Propagates [`SigmaError::ChunkMissing`] / [`SigmaError::PayloadUnavailable`]
     /// from the node.
-    pub fn read_chunk(&self, node: usize, fingerprint: &sigma_hashkit::Fingerprint) -> Result<Vec<u8>> {
+    pub fn read_chunk(
+        &self,
+        node: usize,
+        fingerprint: &sigma_hashkit::Fingerprint,
+    ) -> Result<Vec<u8>> {
         self.nodes
             .get(node)
             .ok_or(SigmaError::ChunkMissing {
@@ -406,10 +410,7 @@ mod tests {
         assert_eq!(receipt.unique_chunks, 8);
         cluster.flush();
         for (i, d) in sc.descriptors().iter().enumerate() {
-            assert_eq!(
-                cluster.read_chunk(node, &d.fingerprint).unwrap(),
-                chunks[i]
-            );
+            assert_eq!(cluster.read_chunk(node, &d.fingerprint).unwrap(), chunks[i]);
         }
     }
 
@@ -434,10 +435,7 @@ mod tests {
         }
         let stats = cluster.stats();
         assert_eq!(stats.node_usage.len(), 4);
-        assert_eq!(
-            stats.node_usage.iter().sum::<u64>(),
-            stats.physical_bytes
-        );
+        assert_eq!(stats.node_usage.iter().sum::<u64>(), stats.physical_bytes);
         assert_eq!(stats.node_count, 4);
         assert_eq!(stats.router, "sigma");
     }

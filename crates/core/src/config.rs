@@ -253,7 +253,10 @@ mod tests {
     fn validation_rejects_inconsistent_configs() {
         assert!(SigmaConfig::builder().super_chunk_size(0).build().is_err());
         assert!(SigmaConfig::builder().handprint_size(0).build().is_err());
-        assert!(SigmaConfig::builder().container_capacity(0).build().is_err());
+        assert!(SigmaConfig::builder()
+            .container_capacity(0)
+            .build()
+            .is_err());
         assert!(SigmaConfig::builder().cache_containers(0).build().is_err());
         assert!(SigmaConfig::builder()
             .similarity_index_locks(0)

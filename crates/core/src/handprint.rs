@@ -66,7 +66,10 @@ impl Handprint {
     ///
     /// If the input has fewer than `k` distinct fingerprints the handprint is
     /// correspondingly smaller.  A `k` of zero yields an empty handprint.
-    pub fn from_fingerprints(fingerprints: impl IntoIterator<Item = Fingerprint>, k: usize) -> Self {
+    pub fn from_fingerprints(
+        fingerprints: impl IntoIterator<Item = Fingerprint>,
+        k: usize,
+    ) -> Self {
         if k == 0 {
             return Handprint::default();
         }

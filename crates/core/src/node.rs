@@ -339,13 +339,13 @@ impl DedupNode {
     /// node and [`SigmaError::PayloadUnavailable`] when the chunk was stored in
     /// synthetic (trace-driven) mode.
     pub fn read_chunk(&self, fingerprint: &Fingerprint) -> Result<Vec<u8>> {
-        let location = self
-            .chunk_index
-            .lookup(fingerprint)
-            .ok_or_else(|| SigmaError::ChunkMissing {
-                node: self.id,
-                fingerprint: fingerprint.to_string(),
-            })?;
+        let location =
+            self.chunk_index
+                .lookup(fingerprint)
+                .ok_or_else(|| SigmaError::ChunkMissing {
+                    node: self.id,
+                    fingerprint: fingerprint.to_string(),
+                })?;
         match self.store.read_chunk(&location.container, fingerprint) {
             Ok(data) => Ok(data),
             Err(sigma_storage::StorageError::ChunkNotInContainer { .. }) => {
@@ -516,7 +516,9 @@ mod tests {
         // Handprint intentionally computed only over the new chunks so it cannot
         // match the stored container.
         let hp_b = Handprint::from_fingerprints(
-            ids[..32].iter().map(|i| Sha1::fingerprint(&i.to_le_bytes())),
+            ids[..32]
+                .iter()
+                .map(|i| Sha1::fingerprint(&i.to_le_bytes())),
             8,
         );
         let r = node.process_super_chunk(0, &b, &hp_b).unwrap();
@@ -607,7 +609,8 @@ mod tests {
                 }
                 supers.extend(builder.finish());
                 for sc in supers {
-                    node.process_super_chunk(stream, &sc, &sc.handprint(8)).unwrap();
+                    node.process_super_chunk(stream, &sc, &sc.handprint(8))
+                        .unwrap();
                 }
             }));
         }

@@ -143,8 +143,7 @@ impl DataRouter for SimilarityRouter {
             .iter()
             .map(|&c| ctx.nodes[c].resemblance_count(ctx.handprint))
             .collect();
-        let prerouting_lookup_messages =
-            (candidates.len() * ctx.handprint.size()) as u64;
+        let prerouting_lookup_messages = (candidates.len() * ctx.handprint.size()) as u64;
 
         // Step 3: discount by relative storage usage.
         let usages: Vec<f64> = candidates
@@ -164,8 +163,7 @@ impl DataRouter for SimilarityRouter {
                 r as f64
             };
             // Tie-break towards the less-loaded candidate.
-            let better = score > best_score
-                || (score == best_score && usage < usages[best]);
+            let better = score > best_score || (score == best_score && usage < usages[best]);
             if better {
                 best = i;
                 best_score = score;
@@ -188,7 +186,9 @@ mod tests {
 
     fn nodes(n: usize) -> Vec<Arc<DedupNode>> {
         let config = SigmaConfig::default();
-        (0..n).map(|i| Arc::new(DedupNode::new(i, &config))).collect()
+        (0..n)
+            .map(|i| Arc::new(DedupNode::new(i, &config)))
+            .collect()
     }
 
     fn super_chunk(ids: std::ops::Range<u64>) -> SuperChunk {

@@ -185,7 +185,11 @@ impl SuperChunkBuilder {
 
     /// Adds a chunk with payload; returns a completed super-chunk once the target
     /// size is reached.
-    pub fn push_chunk(&mut self, descriptor: ChunkDescriptor, payload: Vec<u8>) -> Option<SuperChunk> {
+    pub fn push_chunk(
+        &mut self,
+        descriptor: ChunkDescriptor,
+        payload: Vec<u8>,
+    ) -> Option<SuperChunk> {
         self.payloads.push(payload);
         self.push_descriptor_inner(descriptor)
     }

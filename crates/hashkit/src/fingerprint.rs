@@ -60,8 +60,10 @@ impl Fingerprint {
         }
         let mut out = [0u8; Fingerprint::LEN];
         for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
-            let hi = hex_val(chunk[0]).ok_or(ParseFingerprintError::InvalidDigit(chunk[0] as char))?;
-            let lo = hex_val(chunk[1]).ok_or(ParseFingerprintError::InvalidDigit(chunk[1] as char))?;
+            let hi =
+                hex_val(chunk[0]).ok_or(ParseFingerprintError::InvalidDigit(chunk[0] as char))?;
+            let lo =
+                hex_val(chunk[1]).ok_or(ParseFingerprintError::InvalidDigit(chunk[1] as char))?;
             out[i] = (hi << 4) | lo;
         }
         Ok(Fingerprint(out))

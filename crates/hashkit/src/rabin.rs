@@ -41,7 +41,7 @@ fn degree(poly: u64) -> u32 {
 
 /// Reduces a 128-bit GF(2) polynomial modulo `poly`.
 fn polymod128(mut value: u128, poly: u64) -> u64 {
-    let deg = degree(poly) as u32;
+    let deg = degree(poly);
     let poly128 = poly as u128;
     let mut bit = 127u32;
     loop {
@@ -237,7 +237,9 @@ mod tests {
             window_size: 16,
             ..RabinParams::default()
         };
-        let tail: Vec<u8> = (0..16u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let tail: Vec<u8> = (0..16u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
 
         let mut prefix_a = vec![1u8; 100];
         prefix_a.extend_from_slice(&tail);

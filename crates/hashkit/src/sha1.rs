@@ -33,7 +33,13 @@ pub struct Sha1 {
 impl Default for Sha1 {
     fn default() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             buffer: [0u8; BLOCK_LEN],
             buffer_len: 0,
             total_len: 0,

@@ -68,7 +68,7 @@ pub fn run(params: Fig1Params) -> Vec<Fig1Row> {
         .enumerate()
         .map(|(i, (label, mutation_rate))| {
             let versions = versioned_payloads(VersionedPayloadParams {
-                seed: 0xf16_1 + i as u64,
+                seed: 0xf161 + i as u64,
                 versions: 2,
                 version_size: params.super_chunk_size,
                 mutation_rate: *mutation_rate,

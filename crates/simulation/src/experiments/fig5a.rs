@@ -86,7 +86,11 @@ pub fn run(params: &Fig5aParams) -> Vec<Fig5aRow> {
 }
 
 /// Deduplicates all versions on a single node and returns `(DR, bytes saved/sec)`.
-fn measure(versions: &[(String, Vec<u8>)], chunker: ChunkerParams, chunk_size: usize) -> (f64, f64) {
+fn measure(
+    versions: &[(String, Vec<u8>)],
+    chunker: ChunkerParams,
+    chunk_size: usize,
+) -> (f64, f64) {
     let config = SigmaConfig::builder()
         .chunker(chunker)
         .super_chunk_size((1 << 20).max(chunk_size * 4))

@@ -63,14 +63,11 @@ pub const SCHEMES: [&str; 4] = ["sigma", "stateless", "stateful", "extreme-binni
 /// Runs the experiment on the Linux and VM workloads (the two real datasets of the
 /// paper's Figure 7).
 pub fn run(params: &Fig7Params) -> Vec<Fig7Row> {
-    let datasets = vec![
+    let datasets = [
         presets::linux_dataset(params.scale),
         presets::vm_dataset(params.scale),
     ];
-    datasets
-        .iter()
-        .flat_map(|d| run_on(d, params))
-        .collect()
+    datasets.iter().flat_map(|d| run_on(d, params)).collect()
 }
 
 /// Runs the experiment on one workload.
@@ -160,10 +157,12 @@ pub fn overhead_shape_holds(rows: &[Fig7Row], factor: f64) -> bool {
         let Some(&smallest) = clusters.first() else {
             return true;
         };
-        let sigma_ok = clusters.iter().all(|&c| match (of("sigma", c), of("stateless", c)) {
-            (Some(s), Some(b)) => s as f64 <= factor * b as f64,
-            _ => true,
-        });
+        let sigma_ok = clusters
+            .iter()
+            .all(|&c| match (of("sigma", c), of("stateless", c)) {
+                (Some(s), Some(b)) => s as f64 <= factor * b as f64,
+                _ => true,
+            });
         let stateful_grows = match (of("stateful", smallest), of("stateful", largest)) {
             (Some(small), Some(large)) => largest == smallest || large > small,
             _ => true,

@@ -62,14 +62,26 @@ impl Default for Table1Params {
 /// The schemes of Table 1: `(name, router factory, routing granularity)`.
 fn schemes() -> Vec<(&'static str, Box<dyn DataRouter>, &'static str)> {
     vec![
-        ("chunk-dht (HYDRAstor)", Box::new(ChunkDhtRouter::new()), "chunk"),
+        (
+            "chunk-dht (HYDRAstor)",
+            Box::new(ChunkDhtRouter::new()),
+            "chunk",
+        ),
         (
             "extreme-binning",
             Box::new(ExtremeBinningRouter::new()),
             "file",
         ),
-        ("stateless (EMC)", Box::new(StatelessRouter::new()), "super-chunk"),
-        ("stateful (EMC)", Box::new(StatefulRouter::new()), "super-chunk"),
+        (
+            "stateless (EMC)",
+            Box::new(StatelessRouter::new()),
+            "super-chunk",
+        ),
+        (
+            "stateful (EMC)",
+            Box::new(StatefulRouter::new()),
+            "super-chunk",
+        ),
         (
             "sigma-dedupe",
             Box::new(SimilarityRouter::new(true)),

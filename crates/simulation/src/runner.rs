@@ -145,8 +145,7 @@ mod tests {
             &tiny_config(1),
         );
         assert!(
-            (summary.dedup_ratio - dataset.exact_dedup_ratio()).abs()
-                / dataset.exact_dedup_ratio()
+            (summary.dedup_ratio - dataset.exact_dedup_ratio()).abs() / dataset.exact_dedup_ratio()
                 < 0.01,
             "cluster {} vs exact {}",
             summary.dedup_ratio,
@@ -216,10 +215,7 @@ mod tests {
             &tiny_config(4),
         );
         assert_eq!(outcome.cluster.nodes.len(), 4);
-        assert_eq!(
-            outcome.cluster.logical_bytes,
-            outcome.summary.logical_bytes
-        );
+        assert_eq!(outcome.cluster.logical_bytes, outcome.summary.logical_bytes);
         assert_eq!(outcome.summary.dataset, "Web");
     }
 }

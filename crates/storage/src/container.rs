@@ -306,7 +306,10 @@ mod tests {
         assert_eq!(b.clone().seal().meta().serialized_size(), 0);
         b.try_append(Sha1::fingerprint(b"x"), b"x");
         b.try_append(Sha1::fingerprint(b"y"), b"y");
-        assert_eq!(b.seal().meta().serialized_size(), 2 * (Fingerprint::LEN + 8));
+        assert_eq!(
+            b.seal().meta().serialized_size(),
+            2 * (Fingerprint::LEN + 8)
+        );
     }
 
     proptest! {

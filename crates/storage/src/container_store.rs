@@ -181,7 +181,9 @@ impl ContainerStore {
         if !inner.open.contains_key(&stream) {
             let id = ContainerId::new(inner.next_id);
             inner.next_id += 1;
-            inner.open.insert(stream, ContainerBuilder::new(id, self.capacity));
+            inner
+                .open
+                .insert(stream, ContainerBuilder::new(id, self.capacity));
         }
 
         // Roll over if the chunk does not fit.
@@ -469,7 +471,10 @@ mod tests {
         // Synthetic chunks cannot be read back.
         let (fp0, _) = payload(0, 1);
         let cid = *containers.iter().min().unwrap();
-        assert!(store.read_chunk(&cid, &fp0).is_err() || store.read_chunk(&cid, &fp0).unwrap().is_empty());
+        assert!(
+            store.read_chunk(&cid, &fp0).is_err()
+                || store.read_chunk(&cid, &fp0).unwrap().is_empty()
+        );
     }
 
     #[test]

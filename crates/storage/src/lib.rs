@@ -30,7 +30,7 @@ mod fingerprint_cache;
 mod similarity_index;
 
 pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation};
-pub use container::{Container, ContainerBuilder, ContainerId, ContainerMeta, ChunkRecord};
+pub use container::{ChunkRecord, Container, ContainerBuilder, ContainerId, ContainerMeta};
 pub use container_store::{
     ContainerStore, ContainerStoreStats, StoredChunk, StreamId, DEFAULT_CONTAINER_CAPACITY,
 };

@@ -7,7 +7,9 @@
 //! and a few files are added.  This generator reproduces exactly that structure over
 //! an abstract chunk universe.
 
-use crate::{ChunkSpec, DatasetKind, DatasetTrace, DeterministicRng, FileTrace, GenerationTrace, LogNormal};
+use crate::{
+    ChunkSpec, DatasetKind, DatasetTrace, DeterministicRng, FileTrace, GenerationTrace, LogNormal,
+};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the Linux-like generator.

@@ -176,7 +176,11 @@ mod tests {
             ..TraceLikeParams::mail(5500)
         };
         let t = generate(params);
-        let sizes: Vec<usize> = t.generations[0].files.iter().map(|f| f.chunks.len()).collect();
+        let sizes: Vec<usize> = t.generations[0]
+            .files
+            .iter()
+            .map(|f| f.chunks.len())
+            .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 5500);
         assert_eq!(sizes.len(), 6);
         assert!(sizes[..5].iter().all(|&s| s == 1000));

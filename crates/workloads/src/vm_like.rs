@@ -47,7 +47,7 @@ pub struct VmLikeParams {
 impl Default for VmLikeParams {
     fn default() -> Self {
         VmLikeParams {
-            seed: 0x5ee_d,
+            seed: 0x5eed,
             vm_count: 8,
             generations: 2,
             base_image_size: 8 << 20,
@@ -179,7 +179,11 @@ mod tests {
     #[test]
     fn file_sizes_are_skewed() {
         let t = generate(small_params());
-        let sizes: Vec<u64> = t.generations[0].files.iter().map(|f| f.logical_bytes()).collect();
+        let sizes: Vec<u64> = t.generations[0]
+            .files
+            .iter()
+            .map(|f| f.logical_bytes())
+            .collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(max as f64 / min as f64 > 3.0, "min {} max {}", min, max);
@@ -188,8 +192,7 @@ mod tests {
     #[test]
     fn images_are_large_files() {
         let t = generate(small_params());
-        assert!(t
-            .generations[0]
+        assert!(t.generations[0]
             .files
             .iter()
             .all(|f| f.logical_bytes() >= 1 << 20));

@@ -19,7 +19,10 @@ fn project_tree(seed: u64) -> Vec<(String, Vec<u8>)> {
     let mut files = vec![
         ("src/main.rs".to_string(), random_bytes(48 * 1024, seed)),
         ("src/lib.rs".to_string(), random_bytes(96 * 1024, seed + 1)),
-        ("target/app.bin".to_string(), random_bytes(6 << 20, seed + 2)),
+        (
+            "target/app.bin".to_string(),
+            random_bytes(6 << 20, seed + 2),
+        ),
         ("assets/logo.png".to_string(), shared_asset.clone()),
         // The same asset appears twice under different names — classic duplication.
         ("docs/logo-copy.png".to_string(), shared_asset),
@@ -30,7 +33,10 @@ fn project_tree(seed: u64) -> Vec<(String, Vec<u8>)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Arc::new(DedupCluster::with_similarity_router(4, SigmaConfig::default()));
+    let cluster = Arc::new(DedupCluster::with_similarity_router(
+        4,
+        SigmaConfig::default(),
+    ));
 
     // Two clients back up almost identical project trees (e.g. two developer
     // machines); the second client's backup is nearly free.
@@ -55,9 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verify every file restores bit-exactly through its recipe.
     for (client_id, name, original, file_id) in &recipes {
         let restored = cluster.restore_file(*file_id)?;
-        assert_eq!(&restored, original, "client {} file {} must restore exactly", client_id, name);
+        assert_eq!(
+            &restored, original,
+            "client {} file {} must restore exactly",
+            client_id, name
+        );
     }
-    println!("restored {} files across {} backup sessions — all bit-exact", recipes.len(), 2);
+    println!(
+        "restored {} files across {} backup sessions — all bit-exact",
+        recipes.len(),
+        2
+    );
 
     let stats = cluster.stats();
     println!(

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mutation_rate: 0.05,
     });
 
-    println!("backing up {} generations of {}", generations.len(), human_bytes(16 << 20));
+    println!(
+        "backing up {} generations of {}",
+        generations.len(),
+        human_bytes(16 << 20)
+    );
     let mut file_ids = Vec::new();
     for (name, data) in &generations {
         let report = client.backup_bytes(name, data)?;
@@ -46,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = cluster.stats();
     println!("\ncluster after backup:");
     println!("  nodes                : {}", stats.node_count);
-    println!("  logical bytes        : {}", human_bytes(stats.logical_bytes));
-    println!("  physical bytes       : {}", human_bytes(stats.physical_bytes));
+    println!(
+        "  logical bytes        : {}",
+        human_bytes(stats.logical_bytes)
+    );
+    println!(
+        "  physical bytes       : {}",
+        human_bytes(stats.physical_bytes)
+    );
     println!("  deduplication ratio  : {:.2}", stats.dedup_ratio);
     println!("  storage usage skew   : {:.3}", stats.usage_skew);
     println!(
@@ -58,6 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Restore the second generation and verify it byte-for-byte.
     let restored = cluster.restore_file(file_ids[1])?;
     assert_eq!(restored, generations[1].1, "restore must be bit-exact");
-    println!("\nrestored generation 2: {} (verified)", human_bytes(restored.len() as u64));
+    println!(
+        "\nrestored generation 2: {} (verified)",
+        human_bytes(restored.len() as u64)
+    );
     Ok(())
 }

@@ -58,11 +58,7 @@ fn figure7_shape_on_linux_and_vm() {
 #[test]
 fn capacity_balancing_reduces_skew_against_no_balancing() {
     let dataset = presets::web_dataset(Scale::Tiny);
-    let balanced = run_cluster(
-        &dataset,
-        Box::new(SimilarityRouter::new(true)),
-        &config(16),
-    );
+    let balanced = run_cluster(&dataset, Box::new(SimilarityRouter::new(true)), &config(16));
     let unbalanced = run_cluster(
         &dataset,
         Box::new(SimilarityRouter::new(false)),
@@ -81,7 +77,11 @@ fn round_robin_balances_but_does_not_deduplicate_across_nodes() {
     let dataset = presets::linux_dataset(Scale::Tiny);
     let round_robin = run_cluster(&dataset, Box::new(RoundRobinRouter::new()), &config(16));
     let sigma = run_cluster(&dataset, Box::new(SimilarityRouter::new(true)), &config(16));
-    assert!(round_robin.skew < 0.3, "round-robin skew {}", round_robin.skew);
+    assert!(
+        round_robin.skew < 0.3,
+        "round-robin skew {}",
+        round_robin.skew
+    );
     assert!(
         sigma.dedup_ratio > 1.3 * round_robin.dedup_ratio,
         "sigma {} vs round-robin {}",

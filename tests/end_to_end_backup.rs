@@ -64,7 +64,11 @@ fn many_clients_share_duplicate_data_across_the_cluster() {
     // Only the first client pays for the data.
     assert_eq!(total_transferred, (4 << 20) as u64);
     let stats = cluster.stats();
-    assert!((stats.dedup_ratio - 6.0).abs() < 0.5, "dr = {}", stats.dedup_ratio);
+    assert!(
+        (stats.dedup_ratio - 6.0).abs() < 0.5,
+        "dr = {}",
+        stats.dedup_ratio
+    );
     assert_eq!(cluster.director().session_count(), 6);
 }
 
@@ -75,7 +79,9 @@ fn unique_data_spreads_across_nodes() {
     // 64 MB of unique data must not pile up on one node.
     for i in 0..8u64 {
         let data = random_bytes(8 << 20, 1000 + i);
-        client.backup_bytes(&format!("unique-{}", i), &data).unwrap();
+        client
+            .backup_bytes(&format!("unique-{}", i), &data)
+            .unwrap();
     }
     cluster.flush();
     let stats = cluster.stats();

@@ -1,0 +1,338 @@
+//! Offline shim for the parts of [`proptest`](https://docs.rs/proptest) this
+//! workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so the real
+//! `proptest` cannot be fetched. This shim keeps the same import paths and macro
+//! syntax (`proptest! { ... }`, `prop_assert!`, `any::<T>()`,
+//! `proptest::collection::vec`, `proptest::array::uniform20`,
+//! `ProptestConfig::with_cases`) so the workspace's property tests run unchanged,
+//! with two simplifications:
+//!
+//! * **Deterministic generation** — each test's random stream is seeded from its
+//!   fully-qualified name, so failures reproduce exactly on re-run (at the cost
+//!   of never exploring new cases between runs).
+//! * **No shrinking** — a failing case panics with the assertion message (which
+//!   for `prop_assert_eq!` contains both values) instead of a minimized input.
+//!
+//! Swapping in the real crate later is a one-line change in
+//! `[workspace.dependencies]` and requires no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! The per-test random source.
+
+    use rand::SeedableRng;
+
+    /// The deterministic random source behind every generated value.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Creates the generator for a test, seeded from the test's name.
+    pub fn rng_for_test(test_name: &str) -> TestRng {
+        // FNV-1a over the fully-qualified test name: stable across runs and
+        // platforms, distinct per test.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the workspace's heavier
+        // end-to-end properties fast while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rand::Rng::gen::<$ty>(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A strategy that always produces clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $ty {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{test_runner::TestRng, Strategy};
+    use std::ops::Range;
+
+    /// A number-of-elements specification: either exact or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange(range)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.0.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    //! Strategies for fixed-size arrays.
+
+    use super::{test_runner::TestRng, Strategy};
+
+    /// A strategy producing `[S::Value; N]` with independently drawn elements.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_ctor {
+        ($($name:ident => $n:literal),*) => {$(
+            /// A strategy for arrays of this length with elements from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+
+    uniform_ctor!(
+        uniform4 => 4,
+        uniform8 => 8,
+        uniform16 => 16,
+        uniform20 => 20,
+        uniform32 => 32
+    );
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` runs its body against `cases` random
+/// assignments of its `pat in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds; sugar for `assert!` under this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two expressions are equal; sugar for `assert_eq!` under this shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two expressions differ; sugar for `assert_ne!` under this shim.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut a = crate::test_runner::rng_for_test("x::y");
+        let mut b = crate::test_runner::rng_for_test("x::y");
+        let mut c = crate::test_runner::rng_for_test("x::z");
+        let va: u64 = crate::Strategy::generate(&any::<u64>(), &mut a);
+        let vb: u64 = crate::Strategy::generate(&any::<u64>(), &mut b);
+        let vc: u64 = crate::Strategy::generate(&any::<u64>(), &mut c);
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_strategy_in_bounds(x in 10usize..20, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Vec strategies respect their size range, including nesting.
+        #[test]
+        fn vec_strategy_sizes(
+            xs in crate::collection::vec(any::<u8>(), 0..17),
+            nested in crate::collection::vec(crate::collection::vec(1u32..5, 1..4), 1..5),
+        ) {
+            prop_assert!(xs.len() < 17);
+            prop_assert!(!nested.is_empty() && nested.len() < 5);
+            for inner in &nested {
+                prop_assert!(!inner.is_empty() && inner.len() < 4);
+                prop_assert!(inner.iter().all(|&v| (1..5).contains(&v)));
+            }
+        }
+
+        /// Fixed-size array strategies fill every element.
+        #[test]
+        fn array_strategy(bytes in crate::array::uniform20(any::<u8>()), n in 1usize..64) {
+            prop_assert_eq!(bytes.len(), 20);
+            prop_assert!((1..64).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline shim for the parts of [`serde`](https://serde.rs) this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so the real
+//! `serde` cannot be fetched. The workspace only ever uses serde as *derive
+//! annotations* — no code path serializes or deserializes anything yet — so this
+//! shim provides the two marker traits and no-op derive macros with the same
+//! names and import paths. Swapping in the real crate later is a one-line change
+//! in `[workspace.dependencies]` and requires no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that bounds written against it always
+/// hold; the paired derive macro expands to nothing.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented for every type so that bounds written against it always
+/// hold; the paired derive macro expands to nothing.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

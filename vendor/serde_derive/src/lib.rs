@@ -1,0 +1,22 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing: the shim
+//! traits in the `serde` shim crate carry blanket implementations, so emitting an
+//! impl here would conflict. Declaring the `serde` helper attribute keeps any
+//! future `#[serde(...)]` field attributes inert and accepted.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
