@@ -66,6 +66,22 @@ impl ClusterStats {
     }
 }
 
+/// Receipts for one stream's batch: one `(receipt, target node)` pair per
+/// super-chunk, in stream order.
+pub type BatchReceipts = Vec<(SuperChunkReceipt, usize)>;
+
+/// One backup stream's ordered batch of super-chunks, the unit of
+/// [`DedupCluster::backup_batches_concurrent`].
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// The data-stream identifier (chooses the per-stream open container).
+    pub stream: u64,
+    /// File-boundary hint for routers that need one.
+    pub file_id: Option<u64>,
+    /// The stream's super-chunks, in stream order.
+    pub super_chunks: Vec<SuperChunk>,
+}
+
 /// A cluster of deduplication nodes behind a data-routing scheme.
 ///
 /// # Example
@@ -220,6 +236,71 @@ impl DedupCluster {
     ) -> Result<(SuperChunkReceipt, usize)> {
         let receipt = self.backup_super_chunk(stream, super_chunk, file_id)?;
         Ok((receipt, receipt.node_id))
+    }
+
+    /// Routes and deduplicates a batch of super-chunks from one stream, in order.
+    ///
+    /// Per-stream ordering is what keeps file recipes — and therefore restores —
+    /// identical to issuing the super-chunks one by one.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first routing/storage error.
+    pub fn backup_super_chunk_batch(
+        &self,
+        stream: u64,
+        super_chunks: &[SuperChunk],
+        file_id: Option<u64>,
+    ) -> Result<BatchReceipts> {
+        super_chunks
+            .iter()
+            .map(|sc| self.backup_super_chunk_with_target(stream, sc, file_id))
+            .collect()
+    }
+
+    /// Processes several streams' batches concurrently on real threads.
+    ///
+    /// Each batch keeps its internal order (one worker walks it front to back),
+    /// while up to `parallelism` batches are in flight at once — the cluster-side
+    /// half of the parallel ingest pipeline.  Results come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any stream hit; other streams still run to
+    /// completion (their chunks are stored, only their receipts are discarded).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sigma_core::{DedupCluster, SigmaConfig, StreamBatch, SuperChunk};
+    /// use sigma_hashkit::FingerprintAlgorithm;
+    ///
+    /// let cluster = DedupCluster::with_similarity_router(2, SigmaConfig::default());
+    /// let batches: Vec<StreamBatch> = (0..4u64)
+    ///     .map(|stream| StreamBatch {
+    ///         stream,
+    ///         file_id: None,
+    ///         super_chunks: vec![SuperChunk::from_payloads(
+    ///             FingerprintAlgorithm::Sha1,
+    ///             0,
+    ///             vec![vec![stream as u8; 4096]],
+    ///         )],
+    ///     })
+    ///     .collect();
+    /// let receipts = cluster.backup_batches_concurrent(batches, 4).unwrap();
+    /// assert_eq!(receipts.len(), 4);
+    /// assert!(receipts.iter().all(|r| r[0].0.unique_chunks == 1));
+    /// ```
+    pub fn backup_batches_concurrent(
+        &self,
+        batches: Vec<StreamBatch>,
+        parallelism: usize,
+    ) -> Result<Vec<BatchReceipts>> {
+        crate::pipeline::run_pool(parallelism, batches, |_, batch: StreamBatch| {
+            self.backup_super_chunk_batch(batch.stream, &batch.super_chunks, batch.file_id)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Reads one chunk back from the node that stores it.

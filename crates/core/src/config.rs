@@ -50,6 +50,11 @@ pub struct SigmaConfig {
     /// Whether the similarity router discounts resemblance by relative storage usage
     /// (step 3 of Algorithm 1). Default: `true`.
     pub capacity_balancing: bool,
+    /// Worker threads used by the parallel ingest pipeline and the threaded
+    /// simulation runner.  `1` (the default) keeps every path serial and
+    /// deterministic; `0` means "one per available CPU core"; any other value is
+    /// used as-is.  See [`SigmaConfig::effective_parallelism`].
+    pub parallelism: usize,
 }
 
 impl Default for SigmaConfig {
@@ -64,6 +69,7 @@ impl Default for SigmaConfig {
             similarity_index_locks: 1024,
             chunk_index_fallback: true,
             capacity_balancing: true,
+            parallelism: 1,
         }
     }
 }
@@ -81,6 +87,17 @@ impl SigmaConfig {
         let chunks_per_super_chunk =
             (self.super_chunk_size / self.chunker.average_chunk_size()).max(1);
         (chunks_per_super_chunk / self.handprint_size.max(1)).max(1)
+    }
+
+    /// The resolved worker-thread count: `parallelism`, except that `0` resolves
+    /// to the number of available CPU cores (at least 1).
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     /// Expected number of chunks per super-chunk.
@@ -200,6 +217,12 @@ impl SigmaConfigBuilder {
         self
     }
 
+    /// Sets the ingest worker-thread count (`0` = one per CPU core, `1` = serial).
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.config.parallelism = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -268,6 +291,17 @@ mod tests {
             .chunker(sigma_chunking::ChunkerParams::fixed(4096))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn parallelism_knob_resolves() {
+        let c = SigmaConfig::default();
+        assert_eq!(c.parallelism, 1, "serial by default");
+        assert_eq!(c.effective_parallelism(), 1);
+        let auto = SigmaConfig::builder().parallelism(0).build().unwrap();
+        assert!(auto.effective_parallelism() >= 1, "0 resolves to CPU count");
+        let eight = SigmaConfig::builder().parallelism(8).build().unwrap();
+        assert_eq!(eight.effective_parallelism(), 8);
     }
 
     #[test]

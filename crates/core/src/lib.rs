@@ -20,6 +20,9 @@
 //!   chunk-index fallback).
 //! * [`BackupClient`] — data partitioning, chunk fingerprinting and similarity-aware
 //!   routing at the source.
+//! * [`IngestPipeline`] — the multi-threaded ingest front end: chunking and
+//!   fingerprinting on a worker pool, in-order super-chunk assembly, concurrent
+//!   multi-stream submission (see the [`pipeline`] module).
 //! * [`Director`] — backup-session and file-recipe management for restores.
 //! * [`DedupCluster`] — wires N nodes, a router and the director together and
 //!   accounts for fingerprint-lookup messages (the paper's overhead metric).
@@ -58,16 +61,18 @@ mod director;
 mod error;
 mod handprint;
 mod node;
+pub mod pipeline;
 mod routing;
 mod super_chunk;
 
 pub use client::{BackupClient, FileBackupReport};
-pub use cluster::{ClusterStats, DedupCluster, MessageStats};
+pub use cluster::{BatchReceipts, ClusterStats, DedupCluster, MessageStats, StreamBatch};
 pub use config::{SigmaConfig, SigmaConfigBuilder};
 pub use director::{BackupSession, Director, FileId, FileRecipe, RecipeEntry};
 pub use error::SigmaError;
 pub use handprint::{jaccard, Handprint};
 pub use node::{DedupNode, NodeStats, SuperChunkReceipt};
+pub use pipeline::{IngestPipeline, StreamPayload};
 pub use routing::{DataRouter, RoutingContext, RoutingDecision, SimilarityRouter};
 pub use super_chunk::{ChunkDescriptor, SuperChunk, SuperChunkBuilder};
 

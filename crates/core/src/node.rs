@@ -20,9 +20,9 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 use sigma_storage::{
-    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ContainerId, ContainerStore,
-    ContainerStoreStats, DiskModel, DiskParams, DiskStats, FingerprintCache, SimilarityIndex,
-    SimilarityIndexStats, StreamId,
+    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, ContainerId,
+    ContainerStore, ContainerStoreStats, DiskModel, DiskParams, DiskStats, FingerprintCache,
+    SimilarityIndex, SimilarityIndexStats, StreamId,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -274,6 +274,27 @@ impl DedupNode {
         Ok(receipt)
     }
 
+    /// Deduplicates a batch of super-chunks arriving on `stream`, in order.
+    ///
+    /// Handprints are computed with `handprint_size` representative fingerprints
+    /// each.  This is the node-side half of the cluster's batched ingest entry
+    /// points: one call per stream, stream order preserved.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first storage error.
+    pub fn process_super_chunk_batch(
+        &self,
+        stream: StreamId,
+        super_chunks: &[SuperChunk],
+        handprint_size: usize,
+    ) -> Result<Vec<SuperChunkReceipt>> {
+        super_chunks
+            .iter()
+            .map(|sc| self.process_super_chunk(stream, sc, &sc.handprint(handprint_size)))
+            .collect()
+    }
+
     fn resolve_chunk(
         &self,
         stream: StreamId,
@@ -297,26 +318,59 @@ impl DedupNode {
             }
         }
 
-        // 3c: optional on-disk chunk-index fallback.
-        if self.chunk_index_fallback && self.chunk_index.lookup(&fp).is_some() {
-            return Ok(ChunkResolution::IndexHit);
+        // An oversized chunk can never be stored, so it must be rejected *before*
+        // any claim: if it were claimed first and the store then failed, a
+        // concurrent stream racing on the same fingerprint would have seen
+        // `Duplicate` and reported a successful backup referencing a chunk that
+        // ends up existing nowhere.  Failing here keeps every racer on the same
+        // error path the serial client takes.
+        if descriptor.len as usize > self.store.container_capacity() {
+            return Err(sigma_storage::StorageError::ChunkTooLarge {
+                chunk_size: descriptor.len as usize,
+                container_capacity: self.store.container_capacity(),
+            }
+            .into());
+        }
+
+        // 3c: optional on-disk chunk-index fallback.  In exact mode the index
+        // doubles as the uniqueness arbiter: the fingerprint is *claimed* before
+        // the chunk is appended to a container, so of several streams racing on the
+        // same new fingerprint exactly one stores it and the rest see a duplicate.
+        // This keeps the unique-chunk set — and the node's physical bytes —
+        // identical whether super-chunks arrive serially or concurrently.
+        if self.chunk_index_fallback {
+            match self.chunk_index.claim(fp) {
+                ClaimOutcome::Duplicate => return Ok(ChunkResolution::IndexHit),
+                ClaimOutcome::Claimed => {}
+            }
         }
 
         // Unique: store it.
         let stored = match payload {
-            Some(bytes) => self.store.store_chunk(stream, fp, bytes)?,
-            None => self
-                .store
-                .store_chunk_synthetic(stream, fp, descriptor.len)?,
+            Some(bytes) => self.store.store_chunk(stream, fp, bytes),
+            None => self.store.store_chunk_synthetic(stream, fp, descriptor.len),
         };
-        self.chunk_index.insert(
-            fp,
-            ChunkLocation {
-                container: stored.container,
-                offset: stored.offset,
-                len: stored.len,
-            },
-        );
+        let stored = match stored {
+            Ok(stored) => stored,
+            Err(e) => {
+                if self.chunk_index_fallback {
+                    // Roll the claim back so a later, smaller-capacity retry (or
+                    // another stream) can store the chunk.
+                    self.chunk_index.abandon(&fp);
+                }
+                return Err(e.into());
+            }
+        };
+        let location = ChunkLocation {
+            container: stored.container,
+            offset: stored.offset,
+            len: stored.len,
+        };
+        if self.chunk_index_fallback {
+            self.chunk_index.finalize(fp, location);
+        } else {
+            self.chunk_index.insert(fp, location);
+        }
         // Track the open container's fingerprints for intra-container duplicate hits.
         {
             let mut open = self.open_fingerprints.lock();
@@ -533,6 +587,21 @@ mod tests {
         exact.flush();
         let r2 = exact.process_super_chunk(0, &b, &hp_b).unwrap();
         assert_eq!(r2.duplicate_chunks, 1);
+    }
+
+    #[test]
+    fn oversized_chunk_fails_before_claiming_its_fingerprint() {
+        let node = DedupNode::new(0, &config());
+        // 300 KB chunk vs. 256 KB containers: must fail up front, leaving the
+        // fingerprint unclaimed so no racer can mistake it for a duplicate.
+        let sc = descriptor_super_chunk(&[7], 300 * 1024);
+        let fp = sc.descriptors()[0].fingerprint;
+        assert!(node.process_super_chunk(0, &sc, &sc.handprint(4)).is_err());
+        assert_eq!(node.count_stored_fingerprints(&[fp]), 0);
+        // The same fingerprint with a storable length is still accepted later.
+        let ok = SuperChunk::from_descriptors(0, vec![ChunkDescriptor::new(fp, 4096)]);
+        let receipt = node.process_super_chunk(0, &ok, &ok.handprint(4)).unwrap();
+        assert_eq!(receipt.unique_chunks, 1);
     }
 
     #[test]

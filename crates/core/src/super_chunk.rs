@@ -131,6 +131,20 @@ impl SuperChunk {
 
 /// Groups a stream of chunks into super-chunks of a target size.
 ///
+/// # Flush-on-drop
+///
+/// The builder buffers chunks until the target size is reached, so the final,
+/// possibly undersized super-chunk only exists after [`finish`] is called.
+/// **Dropping a builder silently discards any buffered chunks** — it cannot hand
+/// the pending super-chunk to anyone from `Drop`.  Callers that own a builder must
+/// call [`finish`] at end of stream; [`pending_chunk_count`] /
+/// [`pending_bytes`] expose what would be lost, and the error-path test suite
+/// pins this contract down.
+///
+/// [`finish`]: SuperChunkBuilder::finish
+/// [`pending_chunk_count`]: SuperChunkBuilder::pending_chunk_count
+/// [`pending_bytes`]: SuperChunkBuilder::pending_bytes
+///
 /// # Example
 ///
 /// ```
@@ -181,6 +195,22 @@ impl SuperChunkBuilder {
     /// Target super-chunk size in bytes.
     pub fn target_size(&self) -> usize {
         self.target_size
+    }
+
+    /// Number of chunks buffered but not yet emitted as a super-chunk.
+    pub fn pending_chunk_count(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Bytes buffered but not yet emitted as a super-chunk.
+    pub fn pending_bytes(&self) -> usize {
+        self.current_bytes
+    }
+
+    /// True when nothing is buffered ([`finish`](SuperChunkBuilder::finish) would
+    /// return `None`, and dropping the builder would lose nothing).
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
     }
 
     /// Adds a chunk with payload; returns a completed super-chunk once the target
@@ -291,6 +321,23 @@ mod tests {
     fn builder_finish_on_empty_returns_none() {
         let mut b = SuperChunkBuilder::new(1000);
         assert!(b.finish().is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn builder_exposes_pending_state() {
+        let mut b = SuperChunkBuilder::new(1000);
+        assert_eq!(b.pending_chunk_count(), 0);
+        assert_eq!(b.pending_bytes(), 0);
+        assert!(b.push_descriptor(descriptor(1, 300)).is_none());
+        assert!(b.push_descriptor(descriptor(2, 300)).is_none());
+        assert_eq!(b.pending_chunk_count(), 2);
+        assert_eq!(b.pending_bytes(), 600);
+        assert!(!b.is_empty());
+        // Emitting drains the buffer.
+        assert!(b.push_descriptor(descriptor(3, 600)).is_some());
+        assert_eq!(b.pending_chunk_count(), 0);
+        assert_eq!(b.pending_bytes(), 0);
     }
 
     #[test]

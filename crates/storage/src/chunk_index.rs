@@ -8,6 +8,15 @@
 //! as a fallback for fingerprints that miss in the cache and treats such misses as a
 //! "relatively rare occurrence" (Section 3.3); experiments can also disable it to
 //! obtain the similarity-index-only approximate deduplication mode of Figure 5(b).
+//!
+//! Like the [`SimilarityIndex`](crate::SimilarityIndex), the hash table is
+//! partitioned into lock *stripes* so that concurrent backup streams contend on
+//! 1/`stripe_count` of the index instead of one global lock.  On top of the plain
+//! insert/lookup API the index offers an atomic [`claim`](ChunkIndex::claim) /
+//! [`finalize`](ChunkIndex::finalize) protocol: a stream that wants to store a new
+//! chunk first claims its fingerprint, and exactly one of several racing streams
+//! wins the claim.  This is what keeps the unique-chunk set — and therefore the
+//! physical bytes a node stores — deterministic under the parallel ingest pipeline.
 
 use crate::{ContainerId, DiskModel};
 use serde::{Deserialize, Serialize};
@@ -27,6 +36,26 @@ pub struct ChunkLocation {
     pub len: u32,
 }
 
+/// Outcome of [`ChunkIndex::claim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The fingerprint was absent; the caller now owns it and must either
+    /// [`finalize`](ChunkIndex::finalize) the entry with the chunk's storage
+    /// location or [`abandon`](ChunkIndex::abandon) it on failure.
+    Claimed,
+    /// The fingerprint is already stored (or claimed by a concurrent stream that
+    /// is about to store it): the chunk is a duplicate.
+    Duplicate,
+}
+
+/// One index entry: either finalized with a location, or claimed by a stream that
+/// is still appending the chunk to its open container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Pending,
+    Stored(ChunkLocation),
+}
+
 /// Statistics of a [`ChunkIndex`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChunkIndexStats {
@@ -40,7 +69,7 @@ pub struct ChunkIndexStats {
     pub entries: u64,
 }
 
-/// A hash-table chunk index with simulated-disk accounting.
+/// A striped hash-table chunk index with simulated-disk accounting.
 ///
 /// # Example
 ///
@@ -54,19 +83,49 @@ pub struct ChunkIndexStats {
 /// assert!(index.insert(fp, loc).is_none());
 /// assert_eq!(index.lookup(&fp), Some(loc));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ChunkIndex {
-    map: parking_lot::RwLock<HashMap<Fingerprint, ChunkLocation>>,
+    stripes: Vec<parking_lot::RwLock<HashMap<Fingerprint, Slot>>>,
     disk: Option<Arc<DiskModel>>,
     lookups: AtomicU64,
     hits: AtomicU64,
     inserts: AtomicU64,
 }
 
+/// Default number of lock stripes; enough that eight concurrent streams rarely
+/// collide, cheap enough to allocate per node.
+const DEFAULT_STRIPES: usize = 256;
+
+impl Default for ChunkIndex {
+    fn default() -> Self {
+        ChunkIndex::with_stripes(DEFAULT_STRIPES)
+    }
+}
+
 impl ChunkIndex {
-    /// Creates an index without disk accounting.
+    /// Creates an index without disk accounting and the default stripe count.
     pub fn new() -> Self {
         ChunkIndex::default()
+    }
+
+    /// Creates an index with `stripe_count` lock stripes (rounded up to a power of
+    /// two), without disk accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_count` is zero.
+    pub fn with_stripes(stripe_count: usize) -> Self {
+        assert!(stripe_count > 0, "stripe count must be non-zero");
+        let stripes = stripe_count.next_power_of_two();
+        ChunkIndex {
+            stripes: (0..stripes)
+                .map(|_| parking_lot::RwLock::new(HashMap::new()))
+                .collect(),
+            disk: None,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
     }
 
     /// Creates an index whose lookups are charged to `disk` as random reads and whose
@@ -78,38 +137,114 @@ impl ChunkIndex {
         }
     }
 
+    /// Number of lock stripes (always a power of two).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, fp: &Fingerprint) -> usize {
+        (fp.prefix_u64() as usize) & (self.stripes.len() - 1)
+    }
+
     /// Inserts an entry, returning the previous location if the fingerprint was
-    /// already present.
+    /// already present (and finalized).
     pub fn insert(&self, fp: Fingerprint, location: ChunkLocation) -> Option<ChunkLocation> {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if let Some(disk) = &self.disk {
             disk.record_random_write();
         }
-        self.map.write().insert(fp, location)
+        let stripe = self.stripe_of(&fp);
+        match self.stripes[stripe]
+            .write()
+            .insert(fp, Slot::Stored(location))
+        {
+            Some(Slot::Stored(prev)) => Some(prev),
+            _ => None,
+        }
+    }
+
+    /// Atomically claims a fingerprint that is about to be stored.
+    ///
+    /// Exactly one of several streams racing on the same new fingerprint receives
+    /// [`ClaimOutcome::Claimed`]; every other one receives
+    /// [`ClaimOutcome::Duplicate`].  A successful claim must be completed with
+    /// [`finalize`](ChunkIndex::finalize) once the chunk has a storage location, or
+    /// rolled back with [`abandon`](ChunkIndex::abandon) if storing fails.
+    ///
+    /// Charged like a lookup (one random read) plus, when the claim is won, like an
+    /// insert (one random write).
+    pub fn claim(&self, fp: Fingerprint) -> ClaimOutcome {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.record_random_read();
+        }
+        let stripe = self.stripe_of(&fp);
+        let mut map = self.stripes[stripe].write();
+        if map.contains_key(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ClaimOutcome::Duplicate;
+        }
+        map.insert(fp, Slot::Pending);
+        drop(map);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            disk.record_random_write();
+        }
+        ClaimOutcome::Claimed
+    }
+
+    /// Records the storage location of a previously claimed fingerprint.
+    ///
+    /// Not charged to the disk model: the claim already paid for the insert, this
+    /// merely fills in the location.
+    pub fn finalize(&self, fp: Fingerprint, location: ChunkLocation) {
+        let stripe = self.stripe_of(&fp);
+        self.stripes[stripe]
+            .write()
+            .insert(fp, Slot::Stored(location));
+    }
+
+    /// Rolls back a claim whose chunk could not be stored, so the fingerprint can
+    /// be claimed again later.  Finalized entries are left untouched.
+    pub fn abandon(&self, fp: &Fingerprint) {
+        let stripe = self.stripe_of(fp);
+        let mut map = self.stripes[stripe].write();
+        if map.get(fp) == Some(&Slot::Pending) {
+            map.remove(fp);
+        }
     }
 
     /// Looks up the location of a chunk fingerprint.
+    ///
+    /// A fingerprint that is claimed but not yet finalized reads as absent: its
+    /// location is not known yet.
     pub fn lookup(&self, fp: &Fingerprint) -> Option<ChunkLocation> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(disk) = &self.disk {
             disk.record_random_read();
         }
-        let found = self.map.read().get(fp).copied();
+        let stripe = self.stripe_of(fp);
+        let found = match self.stripes[stripe].read().get(fp) {
+            Some(Slot::Stored(loc)) => Some(*loc),
+            _ => None,
+        };
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
-    /// True if the fingerprint is indexed (without charging a disk access or
-    /// incrementing the lookup statistics — used by invariant checks in tests).
+    /// True if the fingerprint is indexed — claimed or finalized — without charging
+    /// a disk access or incrementing the lookup statistics (used by invariant checks
+    /// in tests and by the stateful baseline router's in-RAM probe).
     pub fn contains_silent(&self, fp: &Fingerprint) -> bool {
-        self.map.read().contains_key(fp)
+        let stripe = self.stripe_of(fp);
+        self.stripes[stripe].read().contains_key(fp)
     }
 
     /// Number of indexed chunks.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when the index holds no entries.
@@ -198,5 +333,72 @@ mod tests {
         assert!(idx.contains_silent(&fp(1)));
         assert!(!idx.contains_silent(&fp(2)));
         assert_eq!(idx.stats().lookups, 0);
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(ChunkIndex::with_stripes(1).stripe_count(), 1);
+        assert_eq!(ChunkIndex::with_stripes(3).stripe_count(), 4);
+        assert_eq!(ChunkIndex::new().stripe_count(), 256);
+    }
+
+    #[test]
+    fn entries_spread_across_stripes() {
+        let idx = ChunkIndex::with_stripes(8);
+        for i in 0..256u64 {
+            idx.insert(fp(i), loc(i, 0));
+        }
+        assert_eq!(idx.len(), 256);
+        let populated = idx.stripes.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > 1, "striping must spread the keys");
+    }
+
+    #[test]
+    fn claim_is_won_exactly_once() {
+        let idx = ChunkIndex::new();
+        assert_eq!(idx.claim(fp(1)), ClaimOutcome::Claimed);
+        assert_eq!(idx.claim(fp(1)), ClaimOutcome::Duplicate);
+        // A pending claim has no location yet.
+        assert_eq!(idx.lookup(&fp(1)), None);
+        assert!(idx.contains_silent(&fp(1)));
+        idx.finalize(fp(1), loc(3, 0));
+        assert_eq!(idx.lookup(&fp(1)), Some(loc(3, 0)));
+        assert_eq!(idx.claim(fp(1)), ClaimOutcome::Duplicate);
+    }
+
+    #[test]
+    fn abandon_rolls_back_only_pending_claims() {
+        let idx = ChunkIndex::new();
+        idx.claim(fp(1));
+        idx.abandon(&fp(1));
+        assert!(!idx.contains_silent(&fp(1)));
+        // Re-claimable after abandon.
+        assert_eq!(idx.claim(fp(1)), ClaimOutcome::Claimed);
+        idx.finalize(fp(1), loc(1, 0));
+        // Abandon after finalize is a no-op.
+        idx.abandon(&fp(1));
+        assert_eq!(idx.lookup(&fp(1)), Some(loc(1, 0)));
+    }
+
+    #[test]
+    fn concurrent_claims_have_one_winner_per_fingerprint() {
+        let idx = Arc::new(ChunkIndex::with_stripes(64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let idx = idx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut won = 0u64;
+                for i in 0..500u64 {
+                    if idx.claim(fp(i)) == ClaimOutcome::Claimed {
+                        idx.finalize(fp(i), loc(i, 0));
+                        won += 1;
+                    }
+                }
+                won
+            }));
+        }
+        let total_wins: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_wins, 500, "each fingerprint claimed exactly once");
+        assert_eq!(idx.len(), 500);
     }
 }

@@ -6,14 +6,24 @@
 //! it is sealed, charged to the disk model as a sequential write, and a new one is
 //! opened.  Sealed containers can be read back for restores and for fingerprint
 //! prefetching.
+//!
+//! Concurrency: each open container sits behind its own mutex, so streams append
+//! in parallel and only contend when they touch the *same* stream's container —
+//! which, by construction, only happens for requests of that one stream.  The
+//! open- and sealed-container directories are reader/writer-locked maps, and the
+//! aggregate counters are atomics, so reads (restores, metadata prefetches) never
+//! block writers of unrelated containers.  Lock order is always directory → slot →
+//! sealed-map; no path takes them in another order, which is what the concurrency
+//! stress suite exercises.
 
 use crate::{
     Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Result, StorageError,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a backup data stream within one node.
@@ -40,11 +50,11 @@ pub struct ContainerStoreStats {
     pub data_reads: u64,
 }
 
-struct StoreInner {
-    next_id: u64,
-    open: HashMap<StreamId, ContainerBuilder>,
-    sealed: HashMap<ContainerId, Container>,
-    stats: ContainerStoreStats,
+/// One stream's open container.  `builder` is `None` once the slot has been
+/// retired by a flush racing with a store; the storer re-fetches a fresh slot
+/// from the directory instead of appending to a container that was just sealed.
+struct OpenSlot {
+    builder: Option<ContainerBuilder>,
 }
 
 /// A node-local store of open and sealed containers.
@@ -65,16 +75,22 @@ struct StoreInner {
 pub struct ContainerStore {
     capacity: usize,
     disk: Option<Arc<DiskModel>>,
-    inner: Mutex<StoreInner>,
+    next_id: AtomicU64,
+    open: RwLock<HashMap<StreamId, Arc<Mutex<OpenSlot>>>>,
+    sealed: RwLock<HashMap<ContainerId, Container>>,
+    sealed_containers: AtomicU64,
+    stored_bytes: AtomicU64,
+    stored_chunks: AtomicU64,
+    metadata_reads: AtomicU64,
+    data_reads: AtomicU64,
 }
 
 impl std::fmt::Debug for ContainerStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("ContainerStore")
             .field("capacity", &self.capacity)
-            .field("open", &inner.open.len())
-            .field("sealed", &inner.sealed.len())
+            .field("open", &self.open.read().len())
+            .field("sealed", &self.sealed.read().len())
             .finish()
     }
 }
@@ -101,12 +117,14 @@ impl ContainerStore {
         ContainerStore {
             capacity,
             disk: None,
-            inner: Mutex::new(StoreInner {
-                next_id: 0,
-                open: HashMap::new(),
-                sealed: HashMap::new(),
-                stats: ContainerStoreStats::default(),
-            }),
+            next_id: AtomicU64::new(0),
+            open: RwLock::new(HashMap::new()),
+            sealed: RwLock::new(HashMap::new()),
+            sealed_containers: AtomicU64::new(0),
+            stored_bytes: AtomicU64::new(0),
+            stored_chunks: AtomicU64::new(0),
+            metadata_reads: AtomicU64::new(0),
+            data_reads: AtomicU64::new(0),
         }
     }
 
@@ -125,6 +143,10 @@ impl ContainerStore {
     /// Per-container data capacity in bytes.
     pub fn container_capacity(&self) -> usize {
         self.capacity
+    }
+
+    fn alloc_id(&self) -> ContainerId {
+        ContainerId::new(self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Appends a unique chunk to the open container of `stream`, sealing and rolling
@@ -175,75 +197,113 @@ impl ContainerStore {
                 container_capacity: self.capacity,
             });
         }
-        let mut inner = self.inner.lock();
+        loop {
+            // Fetch (or create) this stream's open slot; only the directory lock is
+            // held while doing so, never a slot lock.
+            let slot = {
+                let open = self.open.read();
+                open.get(&stream).cloned()
+            };
+            let slot = match slot {
+                Some(slot) => slot,
+                None => {
+                    let mut open = self.open.write();
+                    open.entry(stream)
+                        .or_insert_with(|| {
+                            Arc::new(Mutex::new(OpenSlot {
+                                builder: Some(ContainerBuilder::new(
+                                    self.alloc_id(),
+                                    self.capacity,
+                                )),
+                            }))
+                        })
+                        .clone()
+                }
+            };
 
-        // Open a container for this stream on first use.
-        if !inner.open.contains_key(&stream) {
-            let id = ContainerId::new(inner.next_id);
-            inner.next_id += 1;
-            inner
-                .open
-                .insert(stream, ContainerBuilder::new(id, self.capacity));
+            let mut guard = slot.lock();
+            if guard.builder.is_none() {
+                // A concurrent flush retired this slot between our directory fetch
+                // and the lock; start over with a fresh container.
+                continue;
+            }
+
+            // Roll over if the chunk does not fit.
+            if !guard.builder.as_ref().expect("checked above").fits(len) {
+                let full = guard.builder.take().expect("checked above");
+                guard.builder = Some(ContainerBuilder::new(self.alloc_id(), self.capacity));
+                self.seal(full);
+            }
+
+            let builder = guard.builder.as_mut().expect("fresh after rollover");
+            let offset = builder.used() as u32;
+            let appended = match data {
+                Some(bytes) => builder.try_append(fingerprint, bytes),
+                None => builder.try_append_synthetic(fingerprint, len as u32),
+            };
+            debug_assert!(appended, "chunk must fit after rollover");
+            return Ok(StoredChunk {
+                container: builder.id(),
+                offset,
+                len: len as u32,
+            });
         }
-
-        // Roll over if the chunk does not fit.
-        let needs_roll = {
-            let open = inner.open.get(&stream).expect("just inserted");
-            !open.fits(len)
-        };
-        if needs_roll {
-            let id = ContainerId::new(inner.next_id);
-            inner.next_id += 1;
-            let fresh = ContainerBuilder::new(id, self.capacity);
-            let full = inner
-                .open
-                .insert(stream, fresh)
-                .expect("open container existed");
-            Self::seal_into(&mut inner, full, &self.disk);
-        }
-
-        let open = inner.open.get_mut(&stream).expect("open container exists");
-        let offset = open.used() as u32;
-        let appended = match data {
-            Some(bytes) => open.try_append(fingerprint, bytes),
-            None => open.try_append_synthetic(fingerprint, len as u32),
-        };
-        debug_assert!(appended, "chunk must fit after rollover");
-        let container = open.id();
-        Ok(StoredChunk {
-            container,
-            offset,
-            len: len as u32,
-        })
     }
 
     /// The container currently open for `stream`, if any.
     pub fn open_container(&self, stream: StreamId) -> Option<ContainerId> {
-        self.inner.lock().open.get(&stream).map(|b| b.id())
+        let slot = self.open.read().get(&stream).cloned()?;
+        let guard = slot.lock();
+        guard.builder.as_ref().map(|b| b.id())
     }
 
-    fn seal_into(inner: &mut StoreInner, builder: ContainerBuilder, disk: &Option<Arc<DiskModel>>) {
+    fn seal(&self, builder: ContainerBuilder) {
         let container = builder.seal();
-        if let Some(disk) = disk {
+        if let Some(disk) = &self.disk {
             disk.record_sequential_transfer(
                 (container.data_size() + container.meta().serialized_size()) as u64,
             );
         }
-        inner.stats.sealed_containers += 1;
-        inner.stats.stored_bytes += container.data_size() as u64;
-        inner.stats.stored_chunks += container.chunk_count() as u64;
-        inner.sealed.insert(container.id(), container);
+        self.sealed_containers.fetch_add(1, Ordering::Relaxed);
+        self.stored_bytes
+            .fetch_add(container.data_size() as u64, Ordering::Relaxed);
+        self.stored_chunks
+            .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
+        self.sealed.write().insert(container.id(), container);
     }
 
     /// Seals every open container (end of a backup session).
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
-        let open: Vec<ContainerBuilder> = inner.open.drain().map(|(_, b)| b).collect();
-        for builder in open {
-            if builder.chunk_count() > 0 {
-                Self::seal_into(&mut inner, builder, &self.disk);
+        // Retire every open slot.  The directory lock is released before the slots
+        // are sealed; a store racing with the flush either appended before its slot
+        // was retired (its chunk is sealed here) or finds the retired slot and
+        // opens a fresh container.
+        let slots: Vec<Arc<Mutex<OpenSlot>>> = {
+            let mut open = self.open.write();
+            open.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in slots {
+            let builder = slot.lock().builder.take();
+            if let Some(builder) = builder {
+                if builder.chunk_count() > 0 {
+                    self.seal(builder);
+                }
             }
         }
+    }
+
+    /// Snapshots a still-open container holding `container`, if any.
+    fn clone_open(&self, container: &ContainerId) -> Option<Container> {
+        let slots: Vec<Arc<Mutex<OpenSlot>>> = self.open.read().values().cloned().collect();
+        for slot in slots {
+            let guard = slot.lock();
+            if let Some(builder) = guard.builder.as_ref() {
+                if builder.id() == *container {
+                    return Some(builder.clone().seal());
+                }
+            }
+        }
+        None
     }
 
     /// Reads a sealed container's metadata section (fingerprint list).
@@ -255,19 +315,22 @@ impl ContainerStore {
     ///
     /// Returns [`StorageError::ContainerNotFound`] if the container is not sealed.
     pub fn read_metadata(&self, container: &ContainerId) -> Result<ContainerMeta> {
-        let mut inner = self.inner.lock();
-        inner.stats.metadata_reads += 1;
-        let sealed = inner.sealed.get(container).map(|c| c.meta().clone());
+        self.metadata_reads.fetch_add(1, Ordering::Relaxed);
+        // The sealed-map guard must be dropped before falling back to the open
+        // directory: clone_open takes slot mutexes, and the store path seals while
+        // holding a slot mutex (slot → sealed); holding sealed here would invert
+        // that order and deadlock.
+        let sealed = {
+            let map = self.sealed.read();
+            map.get(container).map(|c| c.meta().clone())
+        };
         let meta = match sealed {
             Some(m) => m,
             None => {
                 // Still-open containers (written moments ago by some stream) are
                 // visible too: their fingerprints are in memory on a real server.
-                inner
-                    .open
-                    .values()
-                    .find(|b| b.id() == *container)
-                    .map(|b| b.clone().seal().meta().clone())
+                self.clone_open(container)
+                    .map(|c| c.meta().clone())
                     .ok_or(StorageError::ContainerNotFound(*container))?
             }
         };
@@ -284,31 +347,29 @@ impl ContainerStore {
     /// Returns [`StorageError::ContainerNotFound`] if the container is unknown, or
     /// [`StorageError::ChunkNotInContainer`] if the fingerprint is not stored there.
     pub fn read_chunk(&self, container: &ContainerId, fp: &Fingerprint) -> Result<Vec<u8>> {
-        let mut inner = self.inner.lock();
-        inner.stats.data_reads += 1;
+        self.data_reads.fetch_add(1, Ordering::Relaxed);
         // Check sealed containers first, then containers still open (their contents
-        // are in memory on a real server and readable immediately).
-        let open_copy;
-        let c = match inner.sealed.get(container) {
-            Some(c) => c,
+        // are in memory on a real server and readable immediately).  As in
+        // read_metadata, the sealed guard is dropped before clone_open so the
+        // slot → sealed lock order of the store path is never inverted.
+        let sealed = {
+            let map = self.sealed.read();
+            map.get(container)
+                .map(|c| c.chunk_data(fp).map(|d| d.to_vec()))
+        };
+        let data = match sealed {
+            Some(found) => found,
             None => {
-                open_copy = inner
-                    .open
-                    .values()
-                    .find(|b| b.id() == *container)
-                    .map(|b| b.clone().seal());
-                open_copy
-                    .as_ref()
-                    .ok_or(StorageError::ContainerNotFound(*container))?
+                let open = self
+                    .clone_open(container)
+                    .ok_or(StorageError::ContainerNotFound(*container))?;
+                open.chunk_data(fp).map(|d| d.to_vec())
             }
         };
-        let data = c
-            .chunk_data(fp)
-            .ok_or_else(|| StorageError::ChunkNotInContainer {
-                container: *container,
-                fingerprint: fp.to_string(),
-            })?
-            .to_vec();
+        let data = data.ok_or_else(|| StorageError::ChunkNotInContainer {
+            container: *container,
+            fingerprint: fp.to_string(),
+        })?;
         if let Some(disk) = &self.disk {
             disk.record_sequential_transfer(data.len() as u64);
         }
@@ -317,22 +378,35 @@ impl ContainerStore {
 
     /// Total physical bytes stored (sealed + open containers' data sections).
     pub fn physical_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
-        let open: u64 = inner.open.values().map(|b| b.used() as u64).sum();
-        inner.stats.stored_bytes + open
+        let slots: Vec<Arc<Mutex<OpenSlot>>> = self.open.read().values().cloned().collect();
+        let open: u64 = slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .builder
+                    .as_ref()
+                    .map(|b| b.used() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        self.stored_bytes.load(Ordering::Relaxed) + open
     }
 
     /// Number of sealed containers.
     pub fn sealed_count(&self) -> usize {
-        self.inner.lock().sealed.len()
+        self.sealed.read().len()
     }
 
     /// Snapshot of the store statistics.
     pub fn stats(&self) -> ContainerStoreStats {
-        let inner = self.inner.lock();
-        let mut s = inner.stats;
-        s.open_containers = inner.open.len() as u64;
-        s
+        ContainerStoreStats {
+            sealed_containers: self.sealed_containers.load(Ordering::Relaxed),
+            open_containers: self.open.read().len() as u64,
+            stored_bytes: self.stored_bytes.load(Ordering::Relaxed),
+            stored_chunks: self.stored_chunks.load(Ordering::Relaxed),
+            metadata_reads: self.metadata_reads.load(Ordering::Relaxed),
+            data_reads: self.data_reads.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -487,5 +561,86 @@ mod tests {
         assert_eq!(meta.fingerprints().collect::<Vec<_>>(), vec![fp]);
         assert_eq!(store.open_container(0), Some(loc.container));
         assert_eq!(store.open_container(7), None);
+    }
+
+    #[test]
+    fn concurrent_streams_store_without_interleaving_or_loss() {
+        let store = Arc::new(ContainerStore::new(2048));
+        let mut handles = Vec::new();
+        for stream in 0..8u64 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..64u64 {
+                    let (fp, data) = payload(stream * 1_000 + i, 128);
+                    store.store_chunk(stream, fp, &data).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        store.flush();
+        let stats = store.stats();
+        assert_eq!(stats.stored_chunks, 8 * 64, "no chunk may be lost");
+        assert_eq!(store.physical_bytes(), 8 * 64 * 128);
+        assert_eq!(stats.open_containers, 0);
+    }
+
+    #[test]
+    fn open_container_reads_race_rollover_without_deadlock() {
+        // Regression test: read_metadata/read_chunk of a still-open container must
+        // not hold the sealed-map lock while taking slot mutexes, or they deadlock
+        // against a concurrent rollover (which seals while holding a slot mutex).
+        let store = Arc::new(ContainerStore::new(512));
+        let mut handles = Vec::new();
+        for stream in 0..4u64 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..400u64 {
+                    // 128-byte chunks in 512-byte containers: rollover every 4th.
+                    let (fp, data) = payload(stream * 10_000 + i, 128);
+                    store.store_chunk(stream, fp, &data).unwrap();
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for stream in (0..4u64).cycle().take(2_000) {
+                    if let Some(cid) = store.open_container(stream) {
+                        // The container may seal under us; both outcomes are fine,
+                        // only a deadlock is not.
+                        let _ = store.read_metadata(&cid);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        store.flush();
+        assert_eq!(store.stats().stored_chunks, 4 * 400);
+    }
+
+    #[test]
+    fn store_racing_with_flush_loses_no_chunks() {
+        let store = Arc::new(ContainerStore::new(4096));
+        let writer = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..512u64 {
+                    let (fp, data) = payload(i, 64);
+                    store.store_chunk(i % 4, fp, &data).unwrap();
+                }
+            })
+        };
+        for _ in 0..32 {
+            store.flush();
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+        store.flush();
+        assert_eq!(store.stats().stored_chunks, 512);
+        assert_eq!(store.physical_bytes(), 512 * 64);
     }
 }

@@ -29,7 +29,7 @@ mod error;
 mod fingerprint_cache;
 mod similarity_index;
 
-pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation};
+pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome};
 pub use container::{ChunkRecord, Container, ContainerBuilder, ContainerId, ContainerMeta};
 pub use container_store::{
     ContainerStore, ContainerStoreStats, StoredChunk, StreamId, DEFAULT_CONTAINER_CAPACITY,

@@ -46,7 +46,8 @@ pub use sigma_baselines::{
 };
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
-    Handprint, SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkBuilder,
+    Handprint, IngestPipeline, SigmaConfig, SigmaError, SimilarityRouter, StreamBatch,
+    StreamPayload, SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
 

@@ -1,0 +1,158 @@
+//! Property tests: the parallel ingest pipeline is observably equivalent to the
+//! serial [`BackupClient`] path.
+//!
+//! Two properties, each over 256 deterministically generated cases:
+//!
+//! * on a single node (exact deduplication), arbitrary payloads spread over
+//!   arbitrary stream counts yield the same `dedup_ratio`, the same
+//!   `physical_bytes` and byte-identical `restore_file` output, no matter how the
+//!   pipeline's worker threads interleave — the chunk-index claim protocol stores
+//!   every unique fingerprint exactly once;
+//! * with a single stream the submission order is identical, so even a multi-node
+//!   cluster produces identical per-node usage and message counters.
+
+use proptest::prelude::*;
+use sigma_dedupe::{BackupClient, DedupCluster, IngestPipeline, SigmaConfig, StreamPayload};
+use std::sync::Arc;
+
+/// Small chunks and super-chunks so even a few KB of payload crosses several
+/// super-chunk and container boundaries.
+fn equivalence_config(parallelism: usize) -> SigmaConfig {
+    SigmaConfig::builder()
+        .super_chunk_size(4 * 1024)
+        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+        .container_capacity(16 * 1024)
+        .cache_containers(4)
+        .parallelism(parallelism)
+        .build()
+        .expect("valid test config")
+}
+
+/// Builds one stream's payload by concatenating blocks from a shared pool, so
+/// streams overlap with each other and with themselves.
+fn compose(blocks: &[Vec<u8>], picks: &[usize]) -> Vec<u8> {
+    let mut data = Vec::new();
+    for &pick in picks {
+        data.extend_from_slice(&blocks[pick % blocks.len()]);
+    }
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serial and parallel ingest agree on a single exact-dedup node for any
+    /// payloads and stream counts.
+    #[test]
+    fn parallel_matches_serial_on_one_node(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..1024),
+            1..6,
+        ),
+        compositions in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..16),
+            1..4,
+        ),
+    ) {
+        let datas: Vec<Vec<u8>> = compositions
+            .iter()
+            .map(|picks| compose(&blocks, picks))
+            .collect();
+
+        // Serial reference: one client per stream, driven back to back.
+        let serial_cluster =
+            Arc::new(DedupCluster::with_similarity_router(1, equivalence_config(1)));
+        let mut serial_restored = Vec::new();
+        for (stream, data) in datas.iter().enumerate() {
+            let client = BackupClient::new(serial_cluster.clone(), stream as u64);
+            let report = client.backup_bytes(&format!("f{stream}"), data).unwrap();
+            serial_restored.push(serial_cluster.restore_file(report.file_id).unwrap());
+        }
+        serial_cluster.flush();
+
+        // Parallel pipeline: same streams, 4 worker threads.
+        let parallel_cluster =
+            Arc::new(DedupCluster::with_similarity_router(1, equivalence_config(4)));
+        let pipeline = IngestPipeline::new(parallel_cluster.clone());
+        let reports = pipeline.backup_streams(
+            datas
+                .iter()
+                .enumerate()
+                .map(|(stream, data)| {
+                    StreamPayload::new(stream as u64, format!("f{stream}"), data.clone())
+                })
+                .collect(),
+        ).unwrap();
+        parallel_cluster.flush();
+
+        let serial_stats = serial_cluster.stats();
+        let parallel_stats = parallel_cluster.stats();
+        prop_assert_eq!(parallel_stats.logical_bytes, serial_stats.logical_bytes);
+        prop_assert_eq!(
+            parallel_stats.physical_bytes,
+            serial_stats.physical_bytes,
+            "the claim protocol must store each unique chunk exactly once"
+        );
+        prop_assert_eq!(parallel_stats.dedup_ratio, serial_stats.dedup_ratio);
+
+        for ((report, data), serial) in reports.iter().zip(&datas).zip(&serial_restored) {
+            let restored = parallel_cluster.restore_file(report.file_id).unwrap();
+            prop_assert_eq!(&restored, data, "parallel restore must match the original");
+            prop_assert_eq!(&restored, serial, "parallel restore must match the serial path");
+        }
+    }
+
+    /// With one stream the pipeline submits in serial order, so a multi-node
+    /// cluster is bit-for-bit equivalent: same routing, same per-node usage, same
+    /// message counters.
+    #[test]
+    fn single_stream_matches_serial_on_multinode(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..1024),
+            1..6,
+        ),
+        picks in proptest::collection::vec(0usize..8, 0..32),
+        nodes in 2usize..5,
+    ) {
+        let data = compose(&blocks, &picks);
+
+        let serial_cluster = Arc::new(DedupCluster::with_similarity_router(
+            nodes,
+            equivalence_config(1),
+        ));
+        let client = BackupClient::new(serial_cluster.clone(), 0);
+        let serial_report = client.backup_bytes("stream", &data).unwrap();
+        serial_cluster.flush();
+
+        let parallel_cluster = Arc::new(DedupCluster::with_similarity_router(
+            nodes,
+            equivalence_config(4),
+        ));
+        let pipeline = IngestPipeline::new(parallel_cluster.clone());
+        let parallel_report = pipeline.backup_stream(0, "stream", data.clone()).unwrap();
+        parallel_cluster.flush();
+
+        prop_assert_eq!(parallel_report.chunks, serial_report.chunks);
+        prop_assert_eq!(parallel_report.super_chunks, serial_report.super_chunks);
+        prop_assert_eq!(
+            parallel_report.transferred_bytes,
+            serial_report.transferred_bytes
+        );
+        prop_assert_eq!(
+            parallel_report.duplicate_chunks,
+            serial_report.duplicate_chunks
+        );
+
+        let serial_stats = serial_cluster.stats();
+        let parallel_stats = parallel_cluster.stats();
+        prop_assert_eq!(parallel_stats.logical_bytes, serial_stats.logical_bytes);
+        prop_assert_eq!(parallel_stats.physical_bytes, serial_stats.physical_bytes);
+        prop_assert_eq!(&parallel_stats.node_usage, &serial_stats.node_usage);
+        prop_assert_eq!(parallel_stats.messages, serial_stats.messages);
+
+        prop_assert_eq!(
+            parallel_cluster.restore_file(parallel_report.file_id).unwrap(),
+            data
+        );
+    }
+}
