@@ -51,9 +51,17 @@ pub struct SigmaConfig {
     /// (step 3 of Algorithm 1). Default: `true`.
     pub capacity_balancing: bool,
     /// Worker threads used by the parallel ingest pipeline and the threaded
-    /// simulation runner.  `1` (the default) keeps every path serial and
-    /// deterministic; `0` means "one per available CPU core"; any other value is
-    /// used as-is.  See [`SigmaConfig::effective_parallelism`].
+    /// simulation runner.
+    ///
+    /// * `1` (the default) keeps every path serial and deterministic;
+    /// * `0` means "one worker per available CPU core";
+    /// * any other value requests that many workers, clamped to
+    ///   [`MAX_PARALLELISM`] so a nonsensical value (such as `usize::MAX`, the
+    ///   classic "negative count cast to unsigned" mistake) cannot ask the OS
+    ///   for billions of threads.
+    ///
+    /// Always read the knob through [`SigmaConfig::effective_parallelism`], which
+    /// performs both the `0` resolution and the clamp.
     pub parallelism: usize,
 }
 
@@ -90,13 +98,15 @@ impl SigmaConfig {
     }
 
     /// The resolved worker-thread count: `parallelism`, except that `0` resolves
-    /// to the number of available CPU cores (at least 1).
+    /// to the number of available CPU cores (at least 1) and explicit requests
+    /// are clamped to [`MAX_PARALLELISM`] (guarding against values like
+    /// `usize::MAX` that would otherwise try to spawn one thread per address).
     pub fn effective_parallelism(&self) -> usize {
         match self.parallelism {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-            n => n,
+            n => n.min(MAX_PARALLELISM),
         }
     }
 
@@ -155,6 +165,14 @@ impl SigmaConfig {
         Ok(())
     }
 }
+
+/// Upper bound on the resolved worker-thread count.
+///
+/// Generous enough for any real machine this simulation targets, small enough
+/// that an accidental `usize::MAX` (or any other negative-equivalent value) in
+/// [`SigmaConfig::parallelism`] degrades to a large-but-sane pool instead of an
+/// attempt to spawn billions of threads.
+pub const MAX_PARALLELISM: usize = 256;
 
 /// Builder for [`SigmaConfig`].
 #[derive(Debug, Clone, Default)]
@@ -217,7 +235,8 @@ impl SigmaConfigBuilder {
         self
     }
 
-    /// Sets the ingest worker-thread count (`0` = one per CPU core, `1` = serial).
+    /// Sets the ingest worker-thread count (`0` = one per CPU core, `1` = serial;
+    /// values above [`MAX_PARALLELISM`] are clamped at resolution time).
     pub fn parallelism(mut self, threads: usize) -> Self {
         self.config.parallelism = threads;
         self
@@ -302,6 +321,22 @@ mod tests {
         assert!(auto.effective_parallelism() >= 1, "0 resolves to CPU count");
         let eight = SigmaConfig::builder().parallelism(8).build().unwrap();
         assert_eq!(eight.effective_parallelism(), 8);
+    }
+
+    #[test]
+    fn absurd_parallelism_is_clamped() {
+        // usize::MAX is what a negative thread count becomes after an unsigned
+        // cast; it must degrade to the cap, not to an OS-melting thread storm.
+        let absurd = SigmaConfig::builder()
+            .parallelism(usize::MAX)
+            .build()
+            .unwrap();
+        assert_eq!(absurd.effective_parallelism(), MAX_PARALLELISM);
+        let at_cap = SigmaConfig::builder()
+            .parallelism(MAX_PARALLELISM)
+            .build()
+            .unwrap();
+        assert_eq!(at_cap.effective_parallelism(), MAX_PARALLELISM);
     }
 
     #[test]

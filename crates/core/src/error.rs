@@ -21,6 +21,19 @@ pub enum SigmaError {
         /// Hex form of the fingerprint whose payload is unavailable.
         fingerprint: String,
     },
+    /// The chunk's container was migrated to another node; the error carries the
+    /// forwarding tombstone's destination.  Cluster-level restores follow the
+    /// chain transparently, so callers normally never observe this variant.
+    ChunkMigrated {
+        /// Hex form of the migrated chunk's fingerprint.
+        fingerprint: String,
+        /// Node the container was forwarded to.
+        node: usize,
+    },
+    /// Membership operation referenced a node ID that is not in the cluster.
+    UnknownNode(usize),
+    /// Membership operation would leave the cluster without any node.
+    ClusterTooSmall,
     /// The routing scheme requires file boundaries but none were provided.
     FileBoundariesRequired {
         /// Name of the routing scheme that raised the error.
@@ -43,6 +56,13 @@ impl std::fmt::Display for SigmaError {
                 "payload for chunk {} was not stored (synthetic mode)",
                 fingerprint
             ),
+            SigmaError::ChunkMigrated { fingerprint, node } => {
+                write!(f, "chunk {} was migrated to node {}", fingerprint, node)
+            }
+            SigmaError::UnknownNode(id) => write!(f, "no active node with id {}", id),
+            SigmaError::ClusterTooSmall => {
+                write!(f, "cannot remove the last node of a cluster")
+            }
             SigmaError::FileBoundariesRequired { router } => write!(
                 f,
                 "routing scheme {} requires file boundary information",

@@ -26,6 +26,9 @@
 //! * [`Director`] — backup-session and file-recipe management for restores.
 //! * [`DedupCluster`] — wires N nodes, a router and the director together and
 //!   accounts for fingerprint-lookup messages (the paper's overhead metric).
+//! * [`NodeMap`] / [`Rebalancer`] — elastic membership: add/remove nodes on a
+//!   live cluster behind generation-stamped node maps, with recipe-preserving
+//!   container migration (see the [`membership`] module).
 //!
 //! # Quick start
 //!
@@ -60,6 +63,7 @@ mod config;
 mod director;
 mod error;
 mod handprint;
+pub mod membership;
 mod node;
 pub mod pipeline;
 mod routing;
@@ -67,10 +71,11 @@ mod super_chunk;
 
 pub use client::{BackupClient, FileBackupReport};
 pub use cluster::{BatchReceipts, ClusterStats, DedupCluster, MessageStats, StreamBatch};
-pub use config::{SigmaConfig, SigmaConfigBuilder};
+pub use config::{SigmaConfig, SigmaConfigBuilder, MAX_PARALLELISM};
 pub use director::{BackupSession, Director, FileId, FileRecipe, RecipeEntry};
 pub use error::SigmaError;
 pub use handprint::{jaccard, Handprint};
+pub use membership::{MoveReceipt, NodeMap, RebalanceReport, Rebalancer};
 pub use node::{DedupNode, NodeStats, SuperChunkReceipt};
 pub use pipeline::{IngestPipeline, StreamPayload};
 pub use routing::{DataRouter, RoutingContext, RoutingDecision, SimilarityRouter};

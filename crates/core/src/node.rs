@@ -16,11 +16,11 @@
 //!    index.
 
 use crate::{ChunkDescriptor, Handprint, Result, SigmaConfig, SigmaError, SuperChunk};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 use sigma_storage::{
-    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, ContainerId,
+    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, Container, ContainerId,
     ContainerStore, ContainerStoreStats, DiskModel, DiskParams, DiskStats, FingerprintCache,
     SimilarityIndex, SimilarityIndexStats, StreamId,
 };
@@ -134,6 +134,11 @@ pub struct DedupNode {
     /// Fingerprints written to the currently open container of each stream; catches
     /// duplicates within the active container before it is sealed.
     open_fingerprints: Mutex<HashMap<StreamId, (ContainerId, HashSet<Fingerprint>)>>,
+    /// Forwarding tombstones: containers migrated away by the rebalancer, mapped to
+    /// the node that received them.  Chunk-index entries for migrated chunks stay in
+    /// place, so a restore that lands here resolves the chunk's container, finds it
+    /// gone from the store, and follows the tombstone to the new owner.
+    forwarding: RwLock<HashMap<ContainerId, usize>>,
 }
 
 impl DedupNode {
@@ -153,6 +158,7 @@ impl DedupNode {
             unique_chunks: AtomicU64::new(0),
             super_chunks: AtomicU64::new(0),
             open_fingerprints: Mutex::new(HashMap::new()),
+            forwarding: RwLock::new(HashMap::new()),
         }
     }
 
@@ -390,8 +396,11 @@ impl DedupNode {
     /// # Errors
     ///
     /// Returns [`SigmaError::ChunkMissing`] when the fingerprint is unknown to this
-    /// node and [`SigmaError::PayloadUnavailable`] when the chunk was stored in
-    /// synthetic (trace-driven) mode.
+    /// node, [`SigmaError::PayloadUnavailable`] when the chunk was stored in
+    /// synthetic (trace-driven) mode, and [`SigmaError::ChunkMigrated`] when the
+    /// chunk's container was migrated away by the rebalancer — the error names the
+    /// node now holding it, and [`DedupCluster`](crate::DedupCluster) restores
+    /// follow that forwarding chain transparently.
     pub fn read_chunk(&self, fingerprint: &Fingerprint) -> Result<Vec<u8>> {
         let location =
             self.chunk_index
@@ -407,8 +416,85 @@ impl DedupNode {
                     fingerprint: fingerprint.to_string(),
                 })
             }
+            Err(sigma_storage::StorageError::ContainerNotFound(cid)) => {
+                match self.forwarded_to(&cid) {
+                    Some(node) => Err(SigmaError::ChunkMigrated {
+                        fingerprint: fingerprint.to_string(),
+                        node,
+                    }),
+                    None => Err(SigmaError::ChunkMissing {
+                        node: self.id,
+                        fingerprint: fingerprint.to_string(),
+                    }),
+                }
+            }
             Err(e) => Err(e.into()),
         }
+    }
+
+    // ---- Elastic-membership support (used by the cluster's `Rebalancer`) ----
+
+    /// Identifiers of every sealed container on this node, sorted ascending.
+    pub fn sealed_container_ids(&self) -> Vec<ContainerId> {
+        self.store.sealed_container_ids()
+    }
+
+    /// Logical data-section size of a sealed container, if it exists.
+    pub fn container_data_size(&self, container: &ContainerId) -> Option<usize> {
+        self.store.sealed_data_size(container)
+    }
+
+    /// Node this container was forwarded to, if it was migrated away.
+    pub fn forwarded_to(&self, container: &ContainerId) -> Option<usize> {
+        self.forwarding.read().get(container).copied()
+    }
+
+    /// Clones a sealed container out of this node for migration (charged to the
+    /// disk model as a sequential read).  The container remains readable here until
+    /// [`retire_container`](Self::retire_container) completes the hand-off.
+    pub fn export_container(&self, container: &ContainerId) -> Option<Container> {
+        self.store.export_sealed(container)
+    }
+
+    /// Removes and returns the similarity-index entries (representative
+    /// fingerprints) pointing at `container`, for re-insertion on the destination
+    /// node under the container's new identifier.
+    pub fn take_similarity_entries(&self, container: ContainerId) -> Vec<Fingerprint> {
+        self.similarity_index.extract_container(container)
+    }
+
+    /// Adopts a container migrated from another node.
+    ///
+    /// The container is re-identified in this node's ID space, every chunk record
+    /// is indexed at its new location, and the given representative fingerprints
+    /// are mapped to the new container so future similar super-chunks deduplicate
+    /// here.  Returns the container's new local identifier.
+    pub fn adopt_container(&self, container: Container, rfps: &[Fingerprint]) -> ContainerId {
+        let records: Vec<sigma_storage::ChunkRecord> = container.meta().records.clone();
+        let new_id = self.store.adopt_sealed(container);
+        for record in records {
+            self.chunk_index.insert(
+                record.fingerprint,
+                ChunkLocation {
+                    container: new_id,
+                    offset: record.offset,
+                    len: record.len,
+                },
+            );
+        }
+        for rfp in rfps {
+            self.similarity_index.insert(*rfp, new_id);
+        }
+        new_id
+    }
+
+    /// Completes the migration of `container` to node `successor`: a forwarding
+    /// tombstone is published *before* the container data is dropped, so a restore
+    /// racing with the hand-off either still reads the chunk locally or follows
+    /// the tombstone — there is no window in which the chunk is unreachable.
+    pub fn retire_container(&self, container: ContainerId, successor: usize) {
+        self.forwarding.write().insert(container, successor);
+        self.store.remove_sealed(&container);
     }
 
     /// Seals all open containers (end of a backup session).

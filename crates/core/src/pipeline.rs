@@ -27,8 +27,8 @@
 //! equivalence property suite pins this down over hundreds of generated
 //! workloads).
 //!
-//! The pool width comes from [`SigmaConfig::parallelism`] (`0` = one worker per
-//! CPU core) or [`IngestPipeline::with_parallelism`].
+//! The pool width comes from [`crate::SigmaConfig::parallelism`] (`0` = one
+//! worker per CPU core) or [`IngestPipeline::with_parallelism`].
 //!
 //! # Example
 //!

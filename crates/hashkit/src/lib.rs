@@ -39,7 +39,7 @@ mod md5;
 mod rabin;
 mod sha1;
 
-pub use fingerprint::Fingerprint;
+pub use fingerprint::{Fingerprint, ParseFingerprintError};
 pub use fnv::{fnv1a_32, fnv1a_64, Fnv64};
 pub use gear::{GearHasher, GEAR_TABLE};
 pub use md5::Md5;

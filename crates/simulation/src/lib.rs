@@ -10,6 +10,10 @@
 //!   rows/series of that figure and can render them as a text table.  The
 //!   `sigma-bench` crate invokes these from `cargo bench`, and the examples print
 //!   selected ones.
+//! * [`churn`] — the elastic-membership scenario the paper's static clusters
+//!   cannot express: backup, add a node (with rebalancing), back up more, remove
+//!   a node, then restore everything and verify byte identity and physical-byte
+//!   conservation.
 //!
 //! # Example
 //!
@@ -32,5 +36,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod experiments;
 pub mod runner;

@@ -94,6 +94,16 @@ impl Container {
         self.id
     }
 
+    /// Returns the same container under a different identifier.
+    ///
+    /// Container IDs are allocated per node, so a container migrated to another
+    /// node by the rebalancer must be re-identified in its new store's ID space;
+    /// chunk offsets and lengths are unaffected.
+    pub fn with_id(mut self, id: ContainerId) -> Container {
+        self.id = id;
+        self
+    }
+
     /// The metadata section.
     pub fn meta(&self) -> &ContainerMeta {
         &self.meta

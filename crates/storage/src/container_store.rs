@@ -376,6 +376,69 @@ impl ContainerStore {
         Ok(data)
     }
 
+    /// Identifiers of every sealed container, sorted ascending.
+    ///
+    /// Sorted so that rebalancing plans built from this list are deterministic.
+    pub fn sealed_container_ids(&self) -> Vec<ContainerId> {
+        let mut ids: Vec<ContainerId> = self.sealed.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Logical data-section size of a sealed container, if it exists.
+    pub fn sealed_data_size(&self, container: &ContainerId) -> Option<usize> {
+        self.sealed.read().get(container).map(|c| c.data_size())
+    }
+
+    /// Clones a sealed container out of the store for migration to another node.
+    ///
+    /// Charged to the disk model as a sequential read of the container's data and
+    /// metadata sections (the rebalancer streaming it off this node's disk).  The
+    /// container stays in the store until [`remove_sealed`](Self::remove_sealed).
+    pub fn export_sealed(&self, container: &ContainerId) -> Option<Container> {
+        let cloned = self.sealed.read().get(container).cloned()?;
+        if let Some(disk) = &self.disk {
+            disk.record_sequential_transfer(
+                (cloned.data_size() + cloned.meta().serialized_size()) as u64,
+            );
+        }
+        Some(cloned)
+    }
+
+    /// Adopts a container migrated from another node, re-identifying it in this
+    /// store's ID space (per-node container IDs would otherwise collide).
+    ///
+    /// Returns the container's new local identifier.  Charged to the disk model as
+    /// a sequential write, exactly like sealing a locally filled container.
+    pub fn adopt_sealed(&self, container: Container) -> ContainerId {
+        let new_id = self.alloc_id();
+        let container = container.with_id(new_id);
+        if let Some(disk) = &self.disk {
+            disk.record_sequential_transfer(
+                (container.data_size() + container.meta().serialized_size()) as u64,
+            );
+        }
+        self.sealed_containers.fetch_add(1, Ordering::Relaxed);
+        self.stored_bytes
+            .fetch_add(container.data_size() as u64, Ordering::Relaxed);
+        self.stored_chunks
+            .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
+        self.sealed.write().insert(new_id, container);
+        new_id
+    }
+
+    /// Removes a sealed container (the final step of migrating it away),
+    /// subtracting its bytes and chunks from this store's accounting.
+    pub fn remove_sealed(&self, container: &ContainerId) -> Option<Container> {
+        let removed = self.sealed.write().remove(container)?;
+        self.sealed_containers.fetch_sub(1, Ordering::Relaxed);
+        self.stored_bytes
+            .fetch_sub(removed.data_size() as u64, Ordering::Relaxed);
+        self.stored_chunks
+            .fetch_sub(removed.chunk_count() as u64, Ordering::Relaxed);
+        Some(removed)
+    }
+
     /// Total physical bytes stored (sealed + open containers' data sections).
     pub fn physical_bytes(&self) -> u64 {
         let slots: Vec<Arc<Mutex<OpenSlot>>> = self.open.read().values().cloned().collect();

@@ -64,6 +64,12 @@ impl SimilarityIndexStats {
 #[derive(Debug)]
 pub struct SimilarityIndex {
     stripes: Vec<RwLock<HashMap<Fingerprint, ContainerId>>>,
+    /// Reverse map for container migration: candidate RFPs per container, so
+    /// [`extract_container`](SimilarityIndex::extract_container) does not have to
+    /// scan every stripe.  Entries are *candidates* — an RFP later overwritten to
+    /// another container stays listed here and is filtered against the forward
+    /// map at extraction time.
+    by_container: RwLock<HashMap<ContainerId, Vec<Fingerprint>>>,
     lookups: AtomicU64,
     hits: AtomicU64,
     inserts: AtomicU64,
@@ -83,6 +89,7 @@ impl SimilarityIndex {
         let stripes = lock_count.next_power_of_two();
         SimilarityIndex {
             stripes: (0..stripes).map(|_| RwLock::new(HashMap::new())).collect(),
+            by_container: RwLock::new(HashMap::new()),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -102,7 +109,17 @@ impl SimilarityIndex {
     pub fn insert(&self, rfp: Fingerprint, container: ContainerId) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         let stripe = self.stripe_of(&rfp);
-        self.stripes[stripe].write().insert(rfp, container);
+        let previous = self.stripes[stripe].write().insert(rfp, container);
+        // Track the reverse candidate only on a fresh mapping: re-inserting the
+        // same rfp → container pair (the common repeated-super-chunk case) must
+        // not grow the candidate list.
+        if previous != Some(container) {
+            self.by_container
+                .write()
+                .entry(container)
+                .or_default()
+                .push(rfp);
+        }
     }
 
     /// Looks up the container that stores the super-chunk this RFP belongs to.
@@ -136,6 +153,36 @@ impl SimilarityIndex {
             }
         }
         out
+    }
+
+    /// Removes and returns every representative fingerprint mapped to `container`,
+    /// sorted ascending.
+    ///
+    /// This is the source-side half of a container migration: the extracted RFPs
+    /// are re-inserted on the destination node under the container's new local ID,
+    /// so similar super-chunks route to (and deduplicate on) the new owner.  Cost
+    /// is proportional to the container's own candidate list, not the index size,
+    /// so draining a many-container node stays linear overall.
+    pub fn extract_container(&self, container: ContainerId) -> Vec<Fingerprint> {
+        let candidates = self
+            .by_container
+            .write()
+            .remove(&container)
+            .unwrap_or_default();
+        let mut extracted = Vec::with_capacity(candidates.len());
+        for rfp in candidates {
+            let stripe = self.stripe_of(&rfp);
+            let mut map = self.stripes[stripe].write();
+            // Only candidates still mapping to this container belong to it; an
+            // rfp since overwritten to another container stays where it is.
+            if map.get(&rfp) == Some(&container) {
+                map.remove(&rfp);
+                extracted.push(rfp);
+            }
+        }
+        extracted.sort_unstable();
+        extracted.dedup();
+        extracted
     }
 
     /// Current number of entries across all stripes.
@@ -223,6 +270,35 @@ mod tests {
         idx.insert(fp(3), ContainerId::new(5));
         let got = idx.matched_containers(&[fp(1), fp(2), fp(3), fp(4)]);
         assert_eq!(got, vec![ContainerId::new(9), ContainerId::new(5)]);
+    }
+
+    #[test]
+    fn extract_container_removes_exactly_its_entries() {
+        let idx = SimilarityIndex::new(8);
+        idx.insert(fp(1), ContainerId::new(9));
+        idx.insert(fp(2), ContainerId::new(9));
+        idx.insert(fp(3), ContainerId::new(5));
+        // fp(2) is overwritten to container 5: it must NOT be extracted with 9.
+        idx.insert(fp(2), ContainerId::new(5));
+        // Repeated identical insert must not duplicate the extracted entry.
+        idx.insert(fp(1), ContainerId::new(9));
+
+        let mut expected = vec![fp(1)];
+        expected.sort_unstable();
+        assert_eq!(idx.extract_container(ContainerId::new(9)), expected);
+        assert_eq!(idx.lookup(&fp(1)), None, "extracted entries are removed");
+        assert_eq!(idx.lookup(&fp(2)), Some(ContainerId::new(5)));
+        assert_eq!(idx.lookup(&fp(3)), Some(ContainerId::new(5)));
+        // Extracting again (or a never-seen container) yields nothing.
+        assert!(idx.extract_container(ContainerId::new(9)).is_empty());
+        assert!(idx.extract_container(ContainerId::new(77)).is_empty());
+        // Remaining entries are still extractable.
+        let mut rest = idx.extract_container(ContainerId::new(5));
+        rest.sort_unstable();
+        let mut expected = vec![fp(2), fp(3)];
+        expected.sort_unstable();
+        assert_eq!(rest, expected);
+        assert!(idx.is_empty());
     }
 
     #[test]

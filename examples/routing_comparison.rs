@@ -25,13 +25,48 @@ fn router(name: &str) -> Box<dyn DataRouter> {
     }
 }
 
+const NODE_COUNTS: [usize; 3] = [8, 32, 128];
+const CLIENT_STREAMS: usize = 8;
+
 fn main() {
     let scale = Scale::Small;
     let dataset = presets::linux_dataset(scale);
+    let sigma = SigmaConfig::default();
+    // Print the full configuration up front so every number below is
+    // reproducible from the output alone.
+    println!("routing comparison");
     println!(
-        "routing comparison on the Linux-like workload ({:.1} MiB logical, exact DR {:.2})\n",
+        "  workload       : {} preset, scale {:?} ({:.1} MiB logical, {} generations, exact DR {:.2})",
+        dataset.name,
+        scale,
         dataset.logical_bytes() as f64 / (1 << 20) as f64,
+        dataset.generations.len(),
         dataset.exact_dedup_ratio()
+    );
+    println!(
+        "  cluster sizes  : {:?} nodes, {} client streams",
+        NODE_COUNTS, CLIENT_STREAMS
+    );
+    println!(
+        "  sigma config   : {} KiB super-chunks, handprint k={}, {} chunking ({} B avg), {} MiB containers",
+        sigma.super_chunk_size / 1024,
+        sigma.handprint_size,
+        sigma.chunker.method(),
+        sigma.chunker.average_chunk_size(),
+        sigma.container_capacity / (1 << 20),
+    );
+    println!(
+        "  dedup mode     : chunk-index fallback {}, capacity balancing {}\n",
+        if sigma.chunk_index_fallback {
+            "on"
+        } else {
+            "off"
+        },
+        if sigma.capacity_balancing {
+            "on"
+        } else {
+            "off"
+        },
     );
 
     let mut table = TextTable::new(vec![
@@ -44,14 +79,14 @@ fn main() {
         "msgs vs stateless",
     ]);
 
-    for &nodes in &[8usize, 32, 128] {
+    for &nodes in &NODE_COUNTS {
         let stateless_baseline = run_cluster(
             &dataset,
             router("stateless"),
             &SimulationConfig {
                 node_count: nodes,
-                sigma: SigmaConfig::default(),
-                client_streams: 8,
+                sigma: sigma.clone(),
+                client_streams: CLIENT_STREAMS,
             },
         );
         for scheme in ["sigma", "stateless", "stateful", "extreme-binning"] {
@@ -60,8 +95,8 @@ fn main() {
                 router(scheme),
                 &SimulationConfig {
                     node_count: nodes,
-                    sigma: SigmaConfig::default(),
-                    client_streams: 8,
+                    sigma: sigma.clone(),
+                    client_streams: CLIENT_STREAMS,
                 },
             );
             table.add_row(vec![

@@ -6,7 +6,8 @@
 //!
 //! * [`core`] — super-chunks, handprinting, similarity-based stateful routing,
 //!   deduplication nodes, backup clients, the director and cluster orchestration
-//!   (the paper's primary contribution).
+//!   (the paper's primary contribution), plus elastic membership: add/remove
+//!   nodes on a live cluster with recipe-preserving rebalancing.
 //! * [`hashkit`] — SHA-1, MD5, Rabin and gear hashes, and the [`Fingerprint`] type.
 //! * [`chunking`] — static, CDC and TTTD chunkers.
 //! * [`storage`] — containers, chunk index, fingerprint cache, similarity index.
@@ -46,8 +47,8 @@ pub use sigma_baselines::{
 };
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
-    Handprint, IngestPipeline, SigmaConfig, SigmaError, SimilarityRouter, StreamBatch,
-    StreamPayload, SuperChunk, SuperChunkBuilder,
+    Handprint, IngestPipeline, NodeMap, RebalanceReport, Rebalancer, SigmaConfig, SigmaError,
+    SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
 
