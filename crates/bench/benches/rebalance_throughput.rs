@@ -56,7 +56,7 @@ fn report() {
     // Join: measure `add_node_rebalanced` on a populated cluster.
     let cluster = populated_cluster();
     let sw = sigma_metrics::Stopwatch::start();
-    let (join_id, join) = cluster.add_node_rebalanced();
+    let (join_id, join) = cluster.add_node_rebalanced().expect("no faults in bench");
     let join_tp = sw.stop(join.bytes_moved);
     table.add_row(vec![
         "join (rebalance_onto)".to_string(),
@@ -112,7 +112,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("join_leave_round_trip", |b| {
         b.iter(|| {
-            let (id, join) = cluster.add_node_rebalanced();
+            let (id, join) = cluster.add_node_rebalanced().expect("no faults in bench");
             let leave = cluster.remove_node(id).expect("node is active");
             (join.bytes_moved, leave.bytes_moved)
         })

@@ -1,0 +1,109 @@
+//! Recovery-replay throughput: how fast a crashed node comes back.
+//!
+//! Not a figure of the paper — its prototype has no durability story — but the
+//! metric that gates restart latency once nodes journal: MB/s of write-ahead-log
+//! replay, i.e. how quickly [`DedupNode::recover`] turns journal bytes back into
+//! a serving node (containers reinstalled, chunk + similarity indexes rebuilt).
+//!
+//! The banner prints a one-shot table comparing a raw (append-by-append) journal
+//! against its compacted (single-snapshot) form at a reporting scale; criterion
+//! then measures both replay paths on a mid-size journal.  Compaction replay
+//! should win: one frame instead of thousands, no superseded records.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sigma_core::{DedupNode, SigmaConfig};
+use sigma_storage::Journal;
+use std::sync::Arc;
+
+fn bench_config() -> SigmaConfig {
+    SigmaConfig::builder()
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024)
+        .durability(true)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Ingests `bytes` of deterministic payload into a durable node and returns the
+/// journal image a crash would leave behind, optionally compacted first.
+fn journal_image(config: &SigmaConfig, bytes: usize, compacted: bool) -> Vec<u8> {
+    let node = DedupNode::new(0, config);
+    let client_chunks: Vec<Vec<u8>> = sigma_workloads::payload::random_bytes(bytes, 0x4EC0)
+        .chunks(4096)
+        .map(<[u8]>::to_vec)
+        .collect();
+    for (i, window) in client_chunks.chunks(16).enumerate() {
+        let sc = sigma_core::SuperChunk::from_payloads(
+            sigma_hashkit::FingerprintAlgorithm::Sha1,
+            i as u64,
+            window.to_vec(),
+        );
+        node.process_super_chunk(0, &sc, &sc.handprint(8))
+            .expect("payload ingest cannot fail");
+    }
+    node.try_flush().expect("no faults in bench");
+    if compacted {
+        node.compact_journal().expect("no faults in bench");
+    }
+    node.journal().expect("durable node has a journal").bytes()
+}
+
+fn recover(config: &SigmaConfig, image: &[u8]) -> u64 {
+    let journal = Arc::new(Journal::from_bytes(image.to_vec()));
+    let (node, report) = DedupNode::recover(0, config, journal).expect("recovery cannot fail");
+    assert!(report.containers_recovered > 0);
+    node.storage_usage()
+}
+
+fn report() {
+    sigma_bench::banner(
+        "recovery replay",
+        "journal-replay throughput of DedupNode::recover, raw vs compacted log",
+    );
+    let config = bench_config();
+    let mut table = sigma_metrics::report::TextTable::new(vec![
+        "journal",
+        "payload MiB",
+        "journal MiB",
+        "replay MB/s",
+    ]);
+    for (label, payload_bytes, compacted) in [
+        ("raw", 4 << 20, false),
+        ("raw", 16 << 20, false),
+        ("compacted", 16 << 20, true),
+    ] {
+        let image = journal_image(&config, payload_bytes, compacted);
+        let sw = sigma_metrics::Stopwatch::start();
+        let recovered = recover(&config, &image);
+        let tp = sw.stop(image.len() as u64);
+        assert!(recovered > 0);
+        table.add_row(vec![
+            label.to_string(),
+            format!("{:.1}", payload_bytes as f64 / (1 << 20) as f64),
+            format!("{:.1}", image.len() as f64 / (1 << 20) as f64),
+            format!("{:.1}", tp.mb_per_sec()),
+        ]);
+    }
+    sigma_bench::print_table("recovery replay throughput", &table.render());
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let config = bench_config();
+    let raw = journal_image(&config, 8 << 20, false);
+    let compacted = journal_image(&config, 8 << 20, true);
+
+    let mut group = c.benchmark_group("recovery_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("raw_journal", |b| b.iter(|| recover(&config, &raw)));
+    group.throughput(Throughput::Bytes(compacted.len() as u64));
+    group.bench_function("compacted_journal", |b| {
+        b.iter(|| recover(&config, &compacted))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! any sequence of joins, leaves and migrations.
 
 use crate::membership::{NodeMap, PlannedMove, RebalanceReport, Rebalancer};
+use crate::node::RecoveryReport;
 use crate::{
     DataRouter, DedupNode, Director, FileId, Handprint, NodeStats, Result, RoutingContext,
     SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkReceipt,
@@ -449,13 +450,48 @@ impl DedupCluster {
     }
 
     /// Seals all open containers on every node — active *and* retired — marking
-    /// the end of a backup session.
+    /// the end of a backup session.  Crashed nodes are skipped (their flush is a
+    /// no-op); durability-aware callers use [`try_flush`](Self::try_flush).
     pub fn flush(&self) {
         let nodes: Vec<Arc<DedupNode>> =
             self.membership.read().directory.values().cloned().collect();
         for node in nodes {
             node.flush();
         }
+    }
+
+    /// Seals all open containers on every node, treating the flush as the durable
+    /// acknowledgement point: once it returns `Ok`, every backup completed so far
+    /// survives any single-node crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first crash hit; [`crashed_nodes`](Self::crashed_nodes) names
+    /// the victim and [`restart_node`](Self::restart_node) recovers it, after
+    /// which the flush can be retried.
+    pub fn try_flush(&self) -> Result<()> {
+        let mut nodes: Vec<Arc<DedupNode>> =
+            self.membership.read().directory.values().cloned().collect();
+        nodes.sort_by_key(|n| n.id());
+        for node in nodes {
+            node.try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Stable IDs of every node (active or retired) whose journal has hit a
+    /// crash point and which therefore needs [`restart_node`](Self::restart_node).
+    pub fn crashed_nodes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .membership
+            .read()
+            .directory
+            .values()
+            .filter(|n| n.crashed())
+            .map(|n| n.id())
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Resolves a handprint's resemblance on every active node — exposed for
@@ -493,12 +529,15 @@ impl DedupCluster {
 
     /// [`add_node`](Self::add_node) followed by a full
     /// [`rebalance_onto`](Self::rebalance_onto) of the new node.
-    pub fn add_node_rebalanced(&self) -> (usize, RebalanceReport) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a node crash from the migration (durable clusters under fault
+    /// injection only); the node is added either way.
+    pub fn add_node_rebalanced(&self) -> Result<(usize, RebalanceReport)> {
         let id = self.add_node();
-        let report = self
-            .rebalance_onto(id)
-            .expect("freshly added node is active");
-        (id, report)
+        let report = self.rebalance_onto(id)?;
+        Ok((id, report))
     }
 
     /// Plans a rebalance that migrates sealed containers from over-loaded active
@@ -562,9 +601,10 @@ impl DedupCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`SigmaError::UnknownNode`] if `id` is not an active node.
+    /// Returns [`SigmaError::UnknownNode`] if `id` is not an active node, and
+    /// propagates node crashes from the migration itself.
     pub fn rebalance_onto(&self, id: usize) -> Result<RebalanceReport> {
-        Ok(self.begin_rebalance_onto(id)?.run())
+        self.begin_rebalance_onto(id)?.run()
     }
 
     /// Removes node `id` from the active map and plans the migration of all its
@@ -584,7 +624,7 @@ impl DedupCluster {
     /// Returns [`SigmaError::UnknownNode`] if `id` is not active and
     /// [`SigmaError::ClusterTooSmall`] when `id` is the last active node.
     pub fn begin_remove_node(&self, id: usize) -> Result<Rebalancer> {
-        let (node, remaining, generation) = {
+        let (node, generation) = {
             let mut m = self.membership.write();
             let slot = m.map.slot_of(id).ok_or(SigmaError::UnknownNode(id))?;
             if m.map.len() == 1 {
@@ -593,23 +633,67 @@ impl DedupCluster {
             let mut nodes = m.map.nodes().to_vec();
             let node = nodes.remove(slot);
             let generation = m.map.generation() + 1;
-            m.map = Arc::new(NodeMap::new(generation, nodes.clone()));
-            (node, nodes, generation)
+            m.map = Arc::new(NodeMap::new(generation, nodes));
+            (node, generation)
         };
         node.flush();
+        self.plan_drain(node, generation)
+    }
 
-        // Assign each container to the projected least-loaded remaining node.
+    /// Re-plans the drain of an already-removed node — the crash-recovery resume
+    /// path: when a node dies mid-removal and is
+    /// [`restart_node`](Self::restart_node)ed, the original [`Rebalancer`] is
+    /// stale (it holds the dead node object), and the node cannot be
+    /// "removed" again because it already left the active map.  `resume_drain`
+    /// plans the migration of whatever sealed containers the retired node still
+    /// holds; already-migrated containers are naturally absent from the new plan,
+    /// and re-migrations of half-moved ones are deduplicated by the adoption
+    /// ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::UnknownNode`] if `id` was never a cluster member,
+    /// and [`SigmaError::InvalidConfig`] if the node is still active (use
+    /// [`begin_remove_node`](Self::begin_remove_node) for that).
+    pub fn resume_drain(&self, id: usize) -> Result<Rebalancer> {
+        let (node, generation) = {
+            let m = self.membership.read();
+            let node = m
+                .directory
+                .get(&id)
+                .cloned()
+                .ok_or(SigmaError::UnknownNode(id))?;
+            if m.map.slot_of(id).is_some() {
+                return Err(SigmaError::InvalidConfig(format!(
+                    "node {} is still active; drain it with begin_remove_node",
+                    id
+                )));
+            }
+            (node, m.map.generation())
+        };
+        node.flush();
+        self.plan_drain(node, generation)
+    }
+
+    /// Plans the migration of every sealed container off `node` onto the
+    /// projected least-loaded active nodes.
+    fn plan_drain(&self, node: Arc<DedupNode>, generation: u64) -> Result<Rebalancer> {
+        let remaining = self.node_map().nodes().to_vec();
         let mut projected: Vec<(Arc<DedupNode>, u64)> = remaining
             .iter()
+            .filter(|n| n.id() != node.id())
             .map(|n| (n.clone(), n.storage_usage()))
             .collect();
+        if projected.is_empty() {
+            return Err(SigmaError::ClusterTooSmall);
+        }
         let mut moves = Vec::new();
         for container in node.sealed_container_ids() {
             let size = node.container_data_size(&container).unwrap_or(0) as u64;
             let (to, usage) = projected
                 .iter_mut()
                 .min_by_key(|(n, usage)| (*usage, n.id()))
-                .expect("a removal always leaves at least one node");
+                .expect("a drain always has at least one destination");
             moves.push(PlannedMove {
                 from: node.clone(),
                 to: to.clone(),
@@ -629,9 +713,94 @@ impl DedupCluster {
     ///
     /// # Errors
     ///
-    /// Same as [`begin_remove_node`](Self::begin_remove_node).
+    /// Same as [`begin_remove_node`](Self::begin_remove_node), plus node crashes
+    /// propagated from the drain itself.
     pub fn remove_node(&self, id: usize) -> Result<RebalanceReport> {
-        Ok(self.begin_remove_node(id)?.run())
+        self.begin_remove_node(id)?.run()
+    }
+
+    // ---- Crash recovery ----
+
+    /// Rebuilds a crashed node from its write-ahead journal and swaps the
+    /// recovered node into the cluster (same stable ID, same slot if it was
+    /// active), then reconciles half-completed migrations: a container the
+    /// recovered node still holds but some peer has durably adopted gets its
+    /// missing tombstone published (and the local copy dropped), and vice versa —
+    /// so a crash inside a [`Rebalancer::step`] can never leave a container
+    /// duplicated or a tombstone chain dangling.
+    ///
+    /// Everything the crashed node acknowledged (sealed and journaled before the
+    /// crash) is served again afterwards, byte-identically; its open containers —
+    /// never acknowledged — are lost, as a real crash would lose them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::UnknownNode`] for an ID the cluster never had and
+    /// [`SigmaError::InvalidConfig`] when the node has no journal
+    /// ([`SigmaConfig::durability`] off).
+    pub fn restart_node(&self, id: usize) -> Result<RecoveryReport> {
+        let old = self.node_by_id(id).ok_or(SigmaError::UnknownNode(id))?;
+        let journal = old.journal().cloned().ok_or_else(|| {
+            SigmaError::InvalidConfig(format!(
+                "node {} has no write-ahead journal (durability is off)",
+                id
+            ))
+        })?;
+        drop(old); // the crashed in-memory state is discarded, only the journal survives
+        let (node, mut report) = DedupNode::recover(id, &self.config, journal)?;
+        let node = Arc::new(node);
+        {
+            let mut m = self.membership.write();
+            m.directory.insert(id, node.clone());
+            if let Some(slot) = m.map.slot_of(id) {
+                let mut nodes = m.map.nodes().to_vec();
+                nodes[slot] = node.clone();
+                // Bump the generation: in-flight batches finish against the dead
+                // node's snapshot (and fail with a crash error), new ones route
+                // to the recovered node.
+                m.map = Arc::new(NodeMap::new(m.map.generation() + 1, nodes));
+            }
+        }
+
+        // Reconcile migrations the crash cut in half.  Deterministic order: peers
+        // sorted by stable ID.  Peers that are themselves crashed are skipped —
+        // their journals refuse appends, and the symmetric sweep of their own
+        // restart finishes the hand-off once they recover; reconciliation is
+        // convergent regardless of restart order.
+        let mut peers: Vec<Arc<DedupNode>> = self
+            .membership
+            .read()
+            .directory
+            .values()
+            .filter(|n| n.id() != id && !n.crashed())
+            .cloned()
+            .collect();
+        peers.sort_by_key(|n| n.id());
+        for peer in &peers {
+            // The recovered node crashed before publishing a tombstone for a
+            // container the peer already adopted durably: finish the hand-off.
+            for (origin_node, origin_cid, _) in peer.adopted_origins() {
+                if origin_node == id
+                    && node.has_sealed_container(&origin_cid)
+                    && node.forwarded_to(&origin_cid).is_none()
+                {
+                    node.retire_container(origin_cid, peer.id())?;
+                    report.reconciled_migrations += 1;
+                }
+            }
+            // Symmetric case: the recovered node durably adopted a container the
+            // (live or earlier-recovered) peer never got to retire.
+            for (origin_node, origin_cid, _) in node.adopted_origins() {
+                if origin_node == peer.id()
+                    && peer.has_sealed_container(&origin_cid)
+                    && peer.forwarded_to(&origin_cid).is_none()
+                {
+                    peer.retire_container(origin_cid, id)?;
+                    report.reconciled_migrations += 1;
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Message counters so far.
@@ -863,7 +1032,7 @@ mod tests {
         cluster.flush();
         let before = cluster.stats().physical_bytes;
 
-        let (id, rebalance) = cluster.add_node_rebalanced();
+        let (id, rebalance) = cluster.add_node_rebalanced().unwrap();
         assert!(rebalance.containers_moved > 0, "new node must receive data");
         assert_eq!(rebalance.generation, 1);
         let new_usage = cluster.node_by_id(id).unwrap().storage_usage();
@@ -891,7 +1060,7 @@ mod tests {
         let planned = rebalancer.remaining();
         assert!(planned > 0);
         let mut moved = 0;
-        while let Some(receipt) = rebalancer.step() {
+        while let Some(receipt) = rebalancer.step().unwrap() {
             moved += 1;
             assert_eq!(receipt.from, 0);
             // Mid-flight restores stay byte-identical after every single move.
@@ -899,7 +1068,7 @@ mod tests {
         }
         assert_eq!(moved, planned);
         assert!(rebalancer.is_done());
-        let final_report = rebalancer.run();
+        let final_report = rebalancer.run().unwrap();
         assert_eq!(final_report.containers_moved as usize, moved);
     }
 
@@ -924,7 +1093,7 @@ mod tests {
         let stale = cluster.begin_rebalance_onto(id).unwrap();
         assert!(stale.remaining() > 0);
         cluster.remove_node(id).unwrap();
-        let outcome = stale.run();
+        let outcome = stale.run().unwrap();
         assert_eq!(outcome.containers_moved, 0, "stale join plan must void");
         assert_eq!(cluster.stats().physical_bytes, before, "conserved");
         assert_eq!(cluster.restore_file(report.file_id).unwrap(), data);
@@ -956,9 +1125,9 @@ mod tests {
             cluster.membership.clone(),
             None,
         );
-        let done = first.run();
+        let done = first.run().unwrap();
         assert!(done.containers_moved > 0);
-        let noop = second.run();
+        let noop = second.run().unwrap();
         assert_eq!(
             noop.containers_moved, 0,
             "already-migrated containers are skipped, not re-moved"

@@ -76,7 +76,7 @@ pub use director::{BackupSession, Director, FileId, FileRecipe, RecipeEntry};
 pub use error::SigmaError;
 pub use handprint::{jaccard, Handprint};
 pub use membership::{MoveReceipt, NodeMap, RebalanceReport, Rebalancer};
-pub use node::{DedupNode, NodeStats, SuperChunkReceipt};
+pub use node::{DedupNode, NodeStats, RecoveryReport, SuperChunkReceipt};
 pub use pipeline::{IngestPipeline, StreamPayload};
 pub use routing::{DataRouter, RoutingContext, RoutingDecision, SimilarityRouter};
 pub use super_chunk::{ChunkDescriptor, SuperChunk, SuperChunkBuilder};

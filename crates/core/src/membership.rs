@@ -26,7 +26,7 @@
 //! re-scans the source afterwards so containers sealed by stragglers still
 //! migrate before the report is returned.
 
-use crate::DedupNode;
+use crate::{DedupNode, Result};
 use sigma_storage::ContainerId;
 use std::sync::Arc;
 
@@ -181,7 +181,8 @@ impl Rebalancer {
         self.report.chunks_moved += receipt.chunks;
     }
 
-    /// Executes one container migration; returns `None` when the plan is drained.
+    /// Executes one container migration; returns `Ok(None)` when the plan is
+    /// drained.
     ///
     /// A move whose container has meanwhile vanished from the source (e.g. an
     /// overlapping plan already migrated it) is skipped, not treated as the end
@@ -189,9 +190,19 @@ impl Rebalancer {
     /// redirected to the currently least-loaded active node for drain plans, and
     /// voids the rest of the plan for join plans (rebalancing onto a node that
     /// no longer exists is moot).
-    pub fn step(&mut self) -> Option<MoveReceipt> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a node crash (durable clusters under fault injection): the
+    /// in-flight move stops at a journal-record boundary, which is exactly the
+    /// state [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)
+    /// recovers from; re-planning and re-running the rebalance afterwards is
+    /// safe because container adoption is idempotent per origin.
+    pub fn step(&mut self) -> Result<Option<MoveReceipt>> {
         loop {
-            let planned = self.moves.pop_front()?;
+            let Some(planned) = self.moves.pop_front() else {
+                return Ok(None);
+            };
             let to = if self.active_map().slot_of(planned.to.id()).is_some() {
                 planned.to
             } else if self.drain.is_some() {
@@ -201,12 +212,12 @@ impl Rebalancer {
                 }
             } else {
                 self.moves.clear();
-                return None;
+                return Ok(None);
             };
-            match migrate_container(&planned.from, &to, planned.container) {
+            match migrate_container(&planned.from, &to, planned.container)? {
                 Some(receipt) => {
                     self.record(receipt);
-                    return Some(receipt);
+                    return Ok(Some(receipt));
                 }
                 None => continue,
             }
@@ -219,11 +230,15 @@ impl Rebalancer {
     /// it holds no sealed container, so writes that raced the removal under an
     /// older node map are migrated too rather than stranded.  Straggler targets
     /// are chosen from the membership current at sweep time.
-    pub fn run(mut self) -> RebalanceReport {
-        while self.step().is_some() {}
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node crash, like [`step`](Self::step).
+    pub fn run(mut self) -> Result<RebalanceReport> {
+        while self.step()?.is_some() {}
         if let Some(source) = self.drain.take() {
             loop {
-                source.flush();
+                source.try_flush()?;
                 let stragglers = source.sealed_container_ids();
                 if stragglers.is_empty() {
                     break;
@@ -232,15 +247,15 @@ impl Rebalancer {
                 for container in stragglers {
                     // Send each straggler to the least-loaded active node.
                     let Some(to) = least_loaded_active(&map, source.id()) else {
-                        return self.report;
+                        return Ok(self.report);
                     };
-                    if let Some(receipt) = migrate_container(&source, &to, container) {
+                    if let Some(receipt) = migrate_container(&source, &to, container)? {
                         self.record(receipt);
                     }
                 }
             }
         }
-        self.report
+        Ok(self.report)
     }
 }
 
@@ -255,34 +270,43 @@ fn least_loaded_active(map: &NodeMap, exclude: usize) -> Option<Arc<DedupNode>> 
 
 /// Migrates one sealed container from `from` to `to`.
 ///
-/// Order of operations is what preserves restores mid-flight:
+/// Order of operations is what preserves restores mid-flight *and* across
+/// crashes:
 ///
 /// 1. clone the container off the source (still readable there);
-/// 2. extract the source's similarity-index entries for it;
-/// 3. install data + chunk-index + similarity entries on the destination;
-/// 4. publish the forwarding tombstone at the source, *then* drop the data there.
+/// 2. *peek* (not extract) the source's similarity-index entries for it;
+/// 3. install data + chunk-index + similarity entries on the destination —
+///    durably, when the destination journals;
+/// 4. publish the forwarding tombstone at the source (journal first), then
+///    drop the data *and* the similarity entries there.
 ///
 /// A restore racing with the move reads the chunk locally until step 4, and
-/// follows the tombstone afterwards; at no point is the chunk unreachable.
+/// follows the tombstone afterwards; at no point is the chunk unreachable.  A
+/// crash between 3 and 4 leaves both copies alive (never a dangling tombstone);
+/// recovery reconciliation or an idempotent retry completes the hand-off.  The
+/// peek in step 2 is what makes a *destination* crash during step 3 harmless:
+/// the source's similarity state is untouched until the adoption is durable.
 fn migrate_container(
     from: &Arc<DedupNode>,
     to: &Arc<DedupNode>,
     container: ContainerId,
-) -> Option<MoveReceipt> {
-    let exported = from.export_container(&container)?;
+) -> Result<Option<MoveReceipt>> {
+    let Some(exported) = from.export_container(&container) else {
+        return Ok(None);
+    };
     let bytes = exported.data_size() as u64;
     let chunks = exported.chunk_count() as u64;
-    let rfps = from.take_similarity_entries(container);
-    let new_container = to.adopt_container(exported, &rfps);
-    from.retire_container(container, to.id());
-    Some(MoveReceipt {
+    let rfps = from.similarity_entries_for(container);
+    let new_container = to.adopt_container(from.id(), exported, &rfps)?;
+    from.retire_container(container, to.id())?;
+    Ok(Some(MoveReceipt {
         from: from.id(),
         to: to.id(),
         container,
         new_container,
         bytes,
         chunks,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -325,7 +349,7 @@ mod tests {
         let before = a.storage_usage();
         assert_eq!(b.storage_usage(), 0);
 
-        let receipt = migrate_container(&a, &b, cid).unwrap();
+        let receipt = migrate_container(&a, &b, cid).unwrap().unwrap();
         assert_eq!(receipt.from, 0);
         assert_eq!(receipt.to, 1);
         assert_eq!(receipt.chunks, 16);
@@ -355,6 +379,72 @@ mod tests {
     fn migrating_a_missing_container_is_a_no_op() {
         let a = node(0);
         let b = node(1);
-        assert!(migrate_container(&a, &b, ContainerId::new(99)).is_none());
+        assert!(migrate_container(&a, &b, ContainerId::new(99))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn destination_crash_mid_adopt_preserves_source_similarity_state() {
+        // Regression: the migration must *peek* (not extract) the source's
+        // similarity entries before the destination's durable adopt — a
+        // destination that crashes on the adopt append must leave the source
+        // still answering resemblance queries, so the retried migration
+        // re-homes the RFPs instead of dropping them forever.
+        let durable = crate::SigmaConfig::builder()
+            .durability(true)
+            .build()
+            .unwrap();
+        let a = Arc::new(DedupNode::new(0, &durable));
+        let b = Arc::new(DedupNode::new(1, &durable));
+        let sc = payload_super_chunk(21, 16);
+        let hp = sc.handprint(8);
+        a.process_super_chunk(0, &sc, &hp).unwrap();
+        a.try_flush().unwrap();
+        let cid = a.sealed_container_ids()[0];
+
+        let b_journal = b.journal().unwrap();
+        b_journal.arm_crash_at_seq(b_journal.next_seq(), sigma_storage::CrashMode::Clean);
+        assert!(migrate_container(&a, &b, cid).is_err(), "adopt must crash");
+        assert_eq!(
+            a.resemblance_count(&hp),
+            hp.size(),
+            "source similarity entries survive the destination crash"
+        );
+        assert_eq!(a.forwarded_to(&cid), None, "no dangling tombstone");
+
+        // Recover the destination and retry: the RFPs travel with the retry.
+        let (recovered_b, _) = DedupNode::recover(1, &durable, b_journal.clone()).unwrap();
+        let recovered_b = Arc::new(recovered_b);
+        let receipt = migrate_container(&a, &recovered_b, cid).unwrap().unwrap();
+        assert_eq!(receipt.chunks, 16);
+        assert_eq!(a.resemblance_count(&hp), 0, "extracted at retire time");
+        assert_eq!(recovered_b.resemblance_count(&hp), hp.size());
+        recovered_b.verify_consistency().unwrap();
+        a.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn repeated_adoption_of_the_same_origin_is_idempotent() {
+        // The guard behind safe rebalance retries: adopting the same
+        // (origin node, origin container) twice — a caller re-executing a plan
+        // entry, or journal replay of a duplicated migration record — must not
+        // double-store the container.
+        let a = node(0);
+        let b = node(1);
+        let sc = payload_super_chunk(3, 8);
+        a.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        a.flush();
+        let cid = a.sealed_container_ids()[0];
+        let exported = a.export_container(&cid).unwrap();
+        let rfps = a.take_similarity_entries(cid);
+
+        let first = b.adopt_container(0, exported.clone(), &rfps).unwrap();
+        let usage_after_first = b.storage_usage();
+        let second = b.adopt_container(0, exported, &rfps).unwrap();
+        assert_eq!(first, second, "same origin resolves to the same local id");
+        assert_eq!(b.storage_usage(), usage_after_first, "no bytes duplicated");
+        assert_eq!(b.stats().containers.sealed_containers, 1);
+        assert_eq!(b.adopted_origins(), vec![(0, cid, first)]);
     }
 }

@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 use sigma_storage::{
     CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, Container, ContainerId,
-    ContainerStore, ContainerStoreStats, DiskModel, DiskParams, DiskStats, FingerprintCache,
-    SimilarityIndex, SimilarityIndexStats, StreamId,
+    ContainerStore, ContainerStoreStats, DiskModel, DiskStats, FingerprintCache, Journal,
+    JournalRecord, NodeSnapshot, SimilarityIndex, SimilarityIndexStats, StreamId,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -139,19 +139,66 @@ pub struct DedupNode {
     /// place, so a restore that lands here resolves the chunk's container, finds it
     /// gone from the store, and follows the tombstone to the new owner.
     forwarding: RwLock<HashMap<ContainerId, usize>>,
+    /// Write-ahead journal (None unless [`SigmaConfig::durability`] is set): the
+    /// node's durable medium, surviving a crash that destroys everything above.
+    journal: Option<Arc<Journal>>,
+}
+
+/// What one journal replay rebuilt — returned by [`DedupNode::recover`] and
+/// [`DedupCluster::restart_node`](crate::DedupCluster::restart_node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// The recovered node's stable ID.
+    pub node_id: usize,
+    /// Journal frames replayed.
+    pub frames_replayed: u64,
+    /// Journal bytes replayed.
+    pub bytes_replayed: u64,
+    /// Trailing journal bytes discarded as a torn or corrupt tail.
+    pub bytes_discarded: u64,
+    /// Sealed containers reinstalled (locally sealed and adopted).
+    pub containers_recovered: u64,
+    /// Chunk-index entries rebuilt.
+    pub chunks_indexed: u64,
+    /// Similarity-index entries rebuilt.
+    pub similarity_entries: u64,
+    /// Forwarding tombstones restored.
+    pub tombstones_restored: u64,
+    /// Duplicated adopt records skipped by the origin-keyed idempotence guard.
+    pub duplicate_adopts_skipped: u64,
+    /// Half-completed migrations finished by cluster-level reconciliation (only
+    /// set by [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)).
+    pub reconciled_migrations: u64,
 }
 
 impl DedupNode {
     /// Creates a node with identifier `id` configured by `config`.
+    ///
+    /// With [`SigmaConfig::durability`] set, the node opens a write-ahead
+    /// [`Journal`] and writes through it on every seal, adoption, similarity
+    /// publication and tombstone, so it can later be rebuilt by
+    /// [`recover`](Self::recover).
     pub fn new(id: usize, config: &SigmaConfig) -> Self {
-        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        Self::empty(id, config, config.durability)
+    }
+
+    /// The one place a node's structures are wired together: `new` asks for a
+    /// journal for immediate write-through, `recover` builds without one (replay
+    /// must not append to the journal it is reading) and attaches it afterwards.
+    fn empty(id: usize, config: &SigmaConfig, journaled: bool) -> Self {
+        let disk = Arc::new(DiskModel::new(config.disk_params));
+        let journal = journaled.then(|| Arc::new(Journal::with_disk(disk.clone())));
+        let mut store = ContainerStore::new(config.container_capacity).with_disk(disk.clone());
+        if let Some(journal) = &journal {
+            store = store.with_journal(journal.clone());
+        }
         DedupNode {
             id,
             chunk_index_fallback: config.chunk_index_fallback,
             similarity_index: SimilarityIndex::new(config.similarity_index_locks),
             cache: FingerprintCache::new(config.cache_containers),
             chunk_index: ChunkIndex::with_disk(disk.clone()),
-            store: ContainerStore::new(config.container_capacity).with_disk(disk.clone()),
+            store,
             disk,
             logical_bytes: AtomicU64::new(0),
             total_chunks: AtomicU64::new(0),
@@ -159,6 +206,207 @@ impl DedupNode {
             super_chunks: AtomicU64::new(0),
             open_fingerprints: Mutex::new(HashMap::new()),
             forwarding: RwLock::new(HashMap::new()),
+            journal,
+        }
+    }
+
+    /// Rebuilds a node from its write-ahead journal (crash recovery).
+    ///
+    /// The journal's torn tail — an append interrupted by the crash — is
+    /// discarded, then every surviving record is replayed in order: containers are
+    /// reinstalled under their original identifiers, the chunk index and
+    /// similarity index are rebuilt, forwarding tombstones are restored (dropping
+    /// the container data they tombstone, exactly as the live path does), and the
+    /// ingest counters come back from the last durable checkpoint.  The journal is
+    /// then reattached as the recovered node's write-ahead log.
+    ///
+    /// The replay state machine is idempotent where the crash protocol needs it
+    /// to be: a duplicated [`JournalRecord::ContainerAdopt`] is skipped by the
+    /// origin-keyed adoption ledger, and re-upserted index entries overwrite
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (a corrupt journal truncates, it does not
+    /// error), but returns `Result` so future integrity checks can refuse.
+    pub fn recover(
+        id: usize,
+        config: &SigmaConfig,
+        journal: Arc<Journal>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let node = Self::empty(id, config, false);
+        // The journal survives the crash; the dead node's DiskModel does not.
+        // Re-target it first so the replay read and every later append is
+        // charged to the recovered node's disk.
+        journal.attach_disk(node.disk.clone());
+        let (records, summary) = journal.recover_truncating();
+        let mut report = RecoveryReport {
+            node_id: id,
+            frames_replayed: summary.frames,
+            bytes_replayed: summary.bytes_replayed,
+            bytes_discarded: summary.bytes_discarded,
+            ..RecoveryReport::default()
+        };
+        for record in records {
+            node.apply_record(record, &mut report);
+        }
+        node.prune_dangling_similarity_entries();
+        let mut node = node;
+        node.store = node.store.with_journal(journal.clone());
+        node.journal = Some(journal);
+        Ok((node, report))
+    }
+
+    /// Drops replayed similarity entries whose container never became durable.
+    ///
+    /// A `SimilarityPublish` record may name a container that was still *open*
+    /// at the crash (its seal never journaled): the mapping points at data that
+    /// no longer exists, would inflate resemblance counts, and — worse — the
+    /// never-sealed container's ID is still allocatable, so a later seal could
+    /// silently alias it.  Pruning restores the invariant that every similarity
+    /// entry names a sealed or tombstoned container.
+    fn prune_dangling_similarity_entries(&self) {
+        let dangling: HashSet<ContainerId> = self
+            .similarity_index
+            .entries()
+            .into_iter()
+            .map(|(_, cid)| cid)
+            .filter(|cid| {
+                !self.store.contains_sealed(cid) && !self.forwarding.read().contains_key(cid)
+            })
+            .collect();
+        for cid in dangling {
+            let _ = self.similarity_index.extract_container(cid);
+        }
+    }
+
+    /// Applies one replayed journal record to this (journal-detached) node.
+    fn apply_record(&self, record: JournalRecord, report: &mut RecoveryReport) {
+        match record {
+            JournalRecord::ContainerSeal { container } => {
+                // The seal record is self-sufficient: installing it also indexes
+                // its chunks, so a crash between the seal frame and its finalize
+                // frame cannot leave durable chunks unreachable.
+                self.index_container_records(&container);
+                report.chunks_indexed += container.chunk_count() as u64;
+                self.store.install_recovered(None, container);
+                report.containers_recovered += 1;
+            }
+            JournalRecord::ChunkIndexFinalize { entries, .. } => {
+                // Redundant with the seal/adopt replay by design (belt and
+                // braces); upserting identical locations is a no-op.
+                for (fp, loc) in entries {
+                    self.chunk_index.insert(fp, loc);
+                }
+            }
+            JournalRecord::SimilarityPublish { container, rfps } => {
+                for rfp in rfps {
+                    self.similarity_index.insert(rfp, container);
+                }
+                report.similarity_entries += 1;
+            }
+            JournalRecord::ContainerAdopt {
+                origin_node,
+                origin_container,
+                container,
+                rfps,
+            } => {
+                let origin = Some((origin_node, origin_container));
+                // Check-then-install is race-free here: replay is single-threaded
+                // on a node nothing else references yet.
+                if self.store.install_recovered(origin, container.clone()) {
+                    self.index_container_records(&container);
+                    report.chunks_indexed += container.chunk_count() as u64;
+                    for rfp in rfps {
+                        self.similarity_index.insert(rfp, container.id());
+                    }
+                    report.containers_recovered += 1;
+                } else {
+                    report.duplicate_adopts_skipped += 1;
+                }
+            }
+            JournalRecord::Tombstone {
+                container,
+                successor,
+            } => {
+                self.forwarding
+                    .write()
+                    .insert(container, successor as usize);
+                self.store.remove_sealed(&container);
+                // Mirror the live migration: the similarity entries travelled
+                // with the container.
+                let _ = self.similarity_index.extract_container(container);
+                report.tombstones_restored += 1;
+            }
+            JournalRecord::StatsCheckpoint {
+                logical_bytes,
+                total_chunks,
+                unique_chunks,
+                super_chunks,
+            } => {
+                self.logical_bytes.store(logical_bytes, Ordering::Relaxed);
+                self.total_chunks.store(total_chunks, Ordering::Relaxed);
+                self.unique_chunks.store(unique_chunks, Ordering::Relaxed);
+                self.super_chunks.store(super_chunks, Ordering::Relaxed);
+            }
+            JournalRecord::Snapshot(snapshot) => {
+                self.apply_snapshot(snapshot, report);
+            }
+        }
+    }
+
+    /// Applies a compaction snapshot (always the first record of a compacted log).
+    fn apply_snapshot(&self, snapshot: NodeSnapshot, report: &mut RecoveryReport) {
+        let NodeSnapshot {
+            next_container_id,
+            containers,
+            chunk_entries,
+            similarity,
+            tombstones,
+            logical_bytes,
+            total_chunks,
+            unique_chunks,
+            super_chunks,
+        } = snapshot;
+        for (origin, container) in containers {
+            if self.store.install_recovered(origin, container) {
+                report.containers_recovered += 1;
+            } else {
+                report.duplicate_adopts_skipped += 1;
+            }
+        }
+        report.chunks_indexed += chunk_entries.len() as u64;
+        for (fp, loc) in chunk_entries {
+            self.chunk_index.insert(fp, loc);
+        }
+        report.similarity_entries += similarity.len() as u64;
+        for (rfp, cid) in similarity {
+            self.similarity_index.insert(rfp, cid);
+        }
+        report.tombstones_restored += tombstones.len() as u64;
+        {
+            let mut forwarding = self.forwarding.write();
+            for (cid, successor) in tombstones {
+                forwarding.insert(cid, successor as usize);
+            }
+        }
+        self.store.restore_next_id(next_container_id);
+        self.logical_bytes.store(logical_bytes, Ordering::Relaxed);
+        self.total_chunks.store(total_chunks, Ordering::Relaxed);
+        self.unique_chunks.store(unique_chunks, Ordering::Relaxed);
+        self.super_chunks.store(super_chunks, Ordering::Relaxed);
+    }
+
+    fn index_container_records(&self, container: &Container) {
+        for record in &container.meta().records {
+            self.chunk_index.insert(
+                record.fingerprint,
+                ChunkLocation {
+                    container: container.id(),
+                    offset: record.offset,
+                    len: record.len,
+                },
+            );
         }
     }
 
@@ -265,6 +513,15 @@ impl DedupNode {
         // Step 4: index the super-chunk's handprint under the container it went to.
         let target = first_target.or_else(|| matched.first().copied());
         if let Some(cid) = target {
+            // Write-ahead: the publication is journaled before it lands in the
+            // similarity index, so recovery rebuilds exactly the mappings that
+            // were durably acknowledged.
+            if let Some(journal) = &self.journal {
+                journal.append(&JournalRecord::SimilarityPublish {
+                    container: cid,
+                    rfps: handprint.representative_fingerprints().to_vec(),
+                })?;
+            }
             for rfp in handprint.representative_fingerprints() {
                 self.similarity_index.insert(*rfp, cid);
             }
@@ -456,6 +713,17 @@ impl DedupNode {
         self.store.export_sealed(container)
     }
 
+    /// The similarity-index entries (representative fingerprints) currently
+    /// pointing at `container`, without removing them.
+    ///
+    /// This is what a migration hands to the destination's
+    /// [`adopt_container`](Self::adopt_container): the source keeps its entries
+    /// until [`retire_container`](Self::retire_container) — so a destination
+    /// that crashes mid-adopt leaves the source's similarity state untouched.
+    pub fn similarity_entries_for(&self, container: ContainerId) -> Vec<Fingerprint> {
+        self.similarity_index.peek_container(container)
+    }
+
     /// Removes and returns the similarity-index entries (representative
     /// fingerprints) pointing at `container`, for re-insertion on the destination
     /// node under the container's new identifier.
@@ -463,15 +731,32 @@ impl DedupNode {
         self.similarity_index.extract_container(container)
     }
 
-    /// Adopts a container migrated from another node.
+    /// Adopts a container migrated from node `origin_node`.
     ///
     /// The container is re-identified in this node's ID space, every chunk record
     /// is indexed at its new location, and the given representative fingerprints
     /// are mapped to the new container so future similar super-chunks deduplicate
     /// here.  Returns the container's new local identifier.
-    pub fn adopt_container(&self, container: Container, rfps: &[Fingerprint]) -> ContainerId {
+    ///
+    /// Adoption is **idempotent** per `(origin node, origin container)`: a
+    /// retried rebalance step (or a replayed migration record) that adopts the
+    /// same origin again gets the existing local identifier back and stores
+    /// nothing twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crash error when the write-ahead journal refuses the append; the
+    /// adoption then never happened, and the source still owns the container.
+    pub fn adopt_container(
+        &self,
+        origin_node: usize,
+        container: Container,
+        rfps: &[Fingerprint],
+    ) -> Result<ContainerId> {
         let records: Vec<sigma_storage::ChunkRecord> = container.meta().records.clone();
-        let new_id = self.store.adopt_sealed(container);
+        let new_id = self
+            .store
+            .adopt_sealed(origin_node as u64, container, rfps)?;
         for record in records {
             self.chunk_index.insert(
                 record.fingerprint,
@@ -485,22 +770,201 @@ impl DedupNode {
         for rfp in rfps {
             self.similarity_index.insert(*rfp, new_id);
         }
-        new_id
+        Ok(new_id)
     }
 
     /// Completes the migration of `container` to node `successor`: a forwarding
-    /// tombstone is published *before* the container data is dropped, so a restore
-    /// racing with the hand-off either still reads the chunk locally or follows
-    /// the tombstone — there is no window in which the chunk is unreachable.
-    pub fn retire_container(&self, container: ContainerId, successor: usize) {
+    /// tombstone is published (journal first, then RAM) *before* the container
+    /// data is dropped, so a restore racing with the hand-off either still reads
+    /// the chunk locally or follows the tombstone — there is no window in which
+    /// the chunk is unreachable, live or across a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crash error when the journal refuses the tombstone append; the
+    /// data is then *not* dropped (the destination may hold a duplicate copy,
+    /// which [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)
+    /// reconciles after recovery).
+    pub fn retire_container(&self, container: ContainerId, successor: usize) -> Result<()> {
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::Tombstone {
+                container,
+                successor: successor as u64,
+            })?;
+        }
         self.forwarding.write().insert(container, successor);
         self.store.remove_sealed(&container);
+        // The similarity entries travelled with the container (the destination
+        // re-published them at adopt time); dropping any stragglers here keeps
+        // the live path, the reconciliation path and Tombstone replay identical:
+        // a retired container never answers resemblance queries again.
+        let _ = self.similarity_index.extract_container(container);
+        Ok(())
     }
 
-    /// Seals all open containers (end of a backup session).
+    /// The adoption ledger: `(origin node, origin container, local container)`
+    /// for every container this node adopted, sorted for deterministic
+    /// reconciliation sweeps.
+    pub fn adopted_origins(&self) -> Vec<(usize, ContainerId, ContainerId)> {
+        self.store
+            .adopted_origins()
+            .into_iter()
+            .map(|(node, origin, local)| (node as usize, origin, local))
+            .collect()
+    }
+
+    /// True if a sealed container with this ID is currently present.
+    pub fn has_sealed_container(&self, container: &ContainerId) -> bool {
+        self.store.contains_sealed(container)
+    }
+
+    /// Seals all open containers (end of a backup session), ignoring a crashed
+    /// journal — a dead node's flush is a no-op.  Durability-aware callers use
+    /// [`try_flush`](Self::try_flush) to observe the crash instead.
     pub fn flush(&self) {
-        self.store.flush();
+        let _ = self.try_flush();
+    }
+
+    /// Seals all open containers and journals a stats checkpoint — the durable
+    /// acknowledgement point: once `try_flush` returns `Ok`, everything ingested
+    /// so far survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crash error when the journal refuses an append; containers not
+    /// yet sealed at that point are lost, exactly as the crash would lose them.
+    pub fn try_flush(&self) -> Result<()> {
+        self.store.flush()?;
         self.open_fingerprints.lock().clear();
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::StatsCheckpoint {
+                logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+                total_chunks: self.total_chunks.load(Ordering::Relaxed),
+                unique_chunks: self.unique_chunks.load(Ordering::Relaxed),
+                super_chunks: self.super_chunks.load(Ordering::Relaxed),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The node's write-ahead journal, when durability is enabled.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// True once the node's journal hit a crash point; the node must be rebuilt
+    /// via [`recover`](Self::recover) (or
+    /// [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)).
+    pub fn crashed(&self) -> bool {
+        self.journal.as_ref().is_some_and(|j| j.crashed())
+    }
+
+    /// Folds the journal into a single snapshot frame.
+    ///
+    /// Call at a quiescent point (no in-flight backups or migrations on this
+    /// node); the snapshot captures sealed state only, so anything still open is
+    /// — by the durability contract — not yet acknowledged anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crash error if the journal has crashed, and an invalid-config
+    /// error if the node has no journal.
+    pub fn compact_journal(&self) -> Result<()> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| SigmaError::InvalidConfig("node has no journal".to_string()))?;
+        // The snapshot may only name *durable* containers.  Index entries that
+        // point at a still-open container describe unacknowledged chunks; if
+        // they were snapshotted, recovery would install phantom entries whose
+        // claim() answers "duplicate" for data that exists nowhere — silently
+        // corrupting a later acknowledged backup.  Filtering them mirrors what
+        // a crash does to the live journal: the open tail simply never existed.
+        let durable = |cid: &ContainerId| {
+            self.store.contains_sealed(cid) || self.forwarding.read().contains_key(cid)
+        };
+        let snapshot = NodeSnapshot {
+            next_container_id: self.store.peek_next_id(),
+            containers: self.store.sealed_snapshot(),
+            chunk_entries: self
+                .chunk_index
+                .finalized_entries()
+                .into_iter()
+                .filter(|(_, loc)| durable(&loc.container))
+                .collect(),
+            similarity: self
+                .similarity_index
+                .entries()
+                .into_iter()
+                .filter(|(_, cid)| durable(cid))
+                .collect(),
+            tombstones: self
+                .forwarding
+                .read()
+                .iter()
+                .map(|(&cid, &node)| (cid, node as u64))
+                .collect(),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            total_chunks: self.total_chunks.load(Ordering::Relaxed),
+            unique_chunks: self.unique_chunks.load(Ordering::Relaxed),
+            super_chunks: self.super_chunks.load(Ordering::Relaxed),
+        };
+        journal.compact(snapshot)?;
+        Ok(())
+    }
+
+    /// Structural consistency check used by the crash-recovery suites: every
+    /// finalized chunk-index entry must resolve to a present, open or tombstoned
+    /// container, and the store's byte/chunk counters must match its contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_consistency(&self) -> std::result::Result<(), String> {
+        let open: std::collections::HashSet<ContainerId> =
+            self.store.open_container_ids().into_iter().collect();
+        for (fp, loc) in self.chunk_index.finalized_entries() {
+            if !self.store.contains_sealed(&loc.container)
+                && !open.contains(&loc.container)
+                && self.forwarded_to(&loc.container).is_none()
+            {
+                return Err(format!(
+                    "chunk {} points at container {} which is neither stored nor tombstoned on node {}",
+                    fp, loc.container, self.id
+                ));
+            }
+        }
+        for (rfp, cid) in self.similarity_index.entries() {
+            if !self.store.contains_sealed(&cid)
+                && !open.contains(&cid)
+                && self.forwarded_to(&cid).is_none()
+            {
+                return Err(format!(
+                    "similarity entry {} points at container {} which is neither stored nor tombstoned on node {}",
+                    rfp, cid, self.id
+                ));
+            }
+        }
+        let mut bytes = 0u64;
+        let mut chunks = 0u64;
+        for (_, container) in self.store.sealed_snapshot() {
+            bytes += container.data_size() as u64;
+            chunks += container.chunk_count() as u64;
+        }
+        let stats = self.store.stats();
+        if stats.stored_bytes != bytes {
+            return Err(format!(
+                "store counts {} stored bytes but containers hold {}",
+                stats.stored_bytes, bytes
+            ));
+        }
+        if stats.stored_chunks != chunks {
+            return Err(format!(
+                "store counts {} stored chunks but containers hold {}",
+                stats.stored_chunks, chunks
+            ));
+        }
+        Ok(())
     }
 
     /// The node's deduplication ratio (logical bytes / physical bytes); 1.0 when no
@@ -744,6 +1208,231 @@ mod tests {
             .map(|i| Sha1::fingerprint(&i.to_le_bytes()))
             .collect();
         assert_eq!(node.count_stored_fingerprints(&probe), 8);
+    }
+
+    fn durable_config() -> SigmaConfig {
+        SigmaConfig::builder()
+            .super_chunk_size(64 * 1024)
+            .container_capacity(16 * 1024)
+            .cache_containers(8)
+            .durability(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recovery_rebuilds_flushed_state_byte_identically() {
+        let cfg = durable_config();
+        let node = DedupNode::new(4, &cfg);
+        let sc = payload_super_chunk(11, 16, 4096);
+        let hp = sc.handprint(8);
+        node.process_super_chunk(0, &sc, &hp).unwrap();
+        node.try_flush().unwrap();
+        let stats_before = node.stats();
+        let journal = node.journal().unwrap().clone();
+        drop(node); // the crash: all in-memory state gone, the journal survives
+
+        let (recovered, report) = DedupNode::recover(4, &cfg, journal).unwrap();
+        assert_eq!(report.node_id, 4);
+        assert!(report.containers_recovered > 0);
+        assert_eq!(report.bytes_discarded, 0);
+        for (i, d) in sc.descriptors().iter().enumerate() {
+            assert_eq!(
+                recovered.read_chunk(&d.fingerprint).unwrap(),
+                sc.payload(i).unwrap()
+            );
+        }
+        let stats_after = recovered.stats();
+        assert_eq!(stats_after.physical_bytes, stats_before.physical_bytes);
+        assert_eq!(stats_after.logical_bytes, stats_before.logical_bytes);
+        assert_eq!(stats_after.unique_chunks, stats_before.unique_chunks);
+        assert_eq!(recovered.resemblance_count(&hp), hp.size());
+        recovered.verify_consistency().unwrap();
+        // The journal is live again: the recovered node keeps journaling.
+        let sc2 = payload_super_chunk(99, 4, 4096);
+        recovered
+            .process_super_chunk(0, &sc2, &sc2.handprint(4))
+            .unwrap();
+        recovered.try_flush().unwrap();
+    }
+
+    #[test]
+    fn recovery_drops_unflushed_open_containers() {
+        let cfg = durable_config();
+        let node = DedupNode::new(0, &cfg);
+        // First super-chunk flushed (acknowledged), second one left open.
+        let acked = payload_super_chunk(1, 8, 2048);
+        node.process_super_chunk(0, &acked, &acked.handprint(4))
+            .unwrap();
+        node.try_flush().unwrap();
+        let lost = payload_super_chunk(2, 2, 1024);
+        node.process_super_chunk(0, &lost, &lost.handprint(4))
+            .unwrap();
+        let physical_at_ack = {
+            let journal = node.journal().unwrap().clone();
+            let (recovered, _) = DedupNode::recover(0, &cfg, journal).unwrap();
+            // Acked chunks are all there; the open container's chunks are gone.
+            for (i, d) in acked.descriptors().iter().enumerate() {
+                assert_eq!(
+                    recovered.read_chunk(&d.fingerprint).unwrap(),
+                    acked.payload(i).unwrap()
+                );
+            }
+            assert!(recovered
+                .read_chunk(&lost.descriptors()[0].fingerprint)
+                .is_err());
+            recovered.verify_consistency().unwrap();
+            recovered.storage_usage()
+        };
+        // Torn tail rule: physical bytes only ever shrink back to the ack point.
+        assert!(physical_at_ack <= node.storage_usage());
+    }
+
+    #[test]
+    fn compaction_preserves_recovery_and_shrinks_the_journal() {
+        let cfg = durable_config();
+        let node = DedupNode::new(0, &cfg);
+        for seed in 0..6u8 {
+            let sc = payload_super_chunk(seed, 8, 2048);
+            node.process_super_chunk(seed as u64, &sc, &sc.handprint(4))
+                .unwrap();
+        }
+        node.try_flush().unwrap();
+        let journal = node.journal().unwrap().clone();
+        let long = journal.len_bytes();
+        let stats_before = node.stats();
+        node.compact_journal().unwrap();
+        assert!(journal.len_bytes() < long, "snapshot must fold the log");
+
+        let (recovered, report) = DedupNode::recover(0, &cfg, journal).unwrap();
+        assert_eq!(report.frames_replayed, 1, "one snapshot frame");
+        let stats_after = recovered.stats();
+        assert_eq!(stats_after.physical_bytes, stats_before.physical_bytes);
+        assert_eq!(stats_after.logical_bytes, stats_before.logical_bytes);
+        assert_eq!(
+            stats_after.containers.sealed_containers,
+            stats_before.containers.sealed_containers
+        );
+        recovered.verify_consistency().unwrap();
+        // Post-compaction ingest still lands in fresh container IDs.
+        let sc = payload_super_chunk(77, 4, 2048);
+        recovered
+            .process_super_chunk(0, &sc, &sc.handprint(4))
+            .unwrap();
+        recovered.try_flush().unwrap();
+        recovered.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn compaction_with_open_containers_does_not_snapshot_phantom_entries() {
+        // Regression: compacting while a container is still open must not
+        // snapshot that container's chunk-index entries — recovery would
+        // otherwise install phantom entries whose claim() reports "duplicate"
+        // for chunks that exist nowhere, silently corrupting a later
+        // acknowledged backup of the same data.
+        let cfg = durable_config();
+        let node = DedupNode::new(0, &cfg);
+        let acked = payload_super_chunk(1, 4, 2048);
+        node.process_super_chunk(0, &acked, &acked.handprint(4))
+            .unwrap();
+        node.try_flush().unwrap();
+        // This super-chunk stays in an open container across the compaction.
+        let pending = payload_super_chunk(2, 3, 1024);
+        node.process_super_chunk(0, &pending, &pending.handprint(4))
+            .unwrap();
+        node.compact_journal().unwrap();
+
+        let journal = node.journal().unwrap().clone();
+        let (recovered, _) = DedupNode::recover(0, &cfg, journal).unwrap();
+        recovered.verify_consistency().unwrap();
+        // The pending chunks died with the crash; re-ingesting them must store
+        // them for real, and the re-acknowledged data must be restorable.
+        let receipt = recovered
+            .process_super_chunk(0, &pending, &pending.handprint(4))
+            .unwrap();
+        assert_eq!(
+            receipt.unique_chunks, 3,
+            "phantom snapshot entries must not swallow the re-ingest"
+        );
+        recovered.try_flush().unwrap();
+        for (i, d) in pending.descriptors().iter().enumerate() {
+            assert_eq!(
+                recovered.read_chunk(&d.fingerprint).unwrap(),
+                pending.payload(i).unwrap()
+            );
+        }
+        for (i, d) in acked.descriptors().iter().enumerate() {
+            assert_eq!(
+                recovered.read_chunk(&d.fingerprint).unwrap(),
+                acked.payload(i).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn replay_of_duplicated_adopt_records_cannot_double_adopt() {
+        let cfg = durable_config();
+        let donor = DedupNode::new(1, &cfg);
+        let sc = payload_super_chunk(5, 8, 2048);
+        donor.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        donor.try_flush().unwrap();
+        let cid = donor.sealed_container_ids()[0];
+        let exported = donor.export_container(&cid).unwrap();
+        let rfps = donor.take_similarity_entries(cid);
+
+        // An adopter whose journal ends up with the same migration record twice
+        // (e.g. a retried step replayed on top of the original).
+        let adopter = DedupNode::new(2, &cfg);
+        adopter.adopt_container(1, exported.clone(), &rfps).unwrap();
+        let journal = adopter.journal().unwrap();
+        journal
+            .append(&JournalRecord::ContainerAdopt {
+                origin_node: 1,
+                origin_container: cid,
+                container: exported
+                    .clone()
+                    .with_id(sigma_storage::ContainerId::new(999)),
+                rfps: rfps.clone(),
+            })
+            .unwrap();
+        let bytes_before = adopter.storage_usage();
+
+        let (recovered, report) = DedupNode::recover(2, &cfg, journal.clone()).unwrap();
+        assert_eq!(report.duplicate_adopts_skipped, 1);
+        assert_eq!(report.containers_recovered, 1);
+        assert_eq!(recovered.storage_usage(), bytes_before, "no double-adopt");
+        assert_eq!(recovered.stats().containers.sealed_containers, 1);
+        recovered.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn tombstone_replay_keeps_the_forwarding_chain() {
+        let cfg = durable_config();
+        let a = DedupNode::new(0, &cfg);
+        let b = DedupNode::new(1, &cfg);
+        let sc = payload_super_chunk(9, 8, 2048);
+        a.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        a.try_flush().unwrap();
+        let cid = a.sealed_container_ids()[0];
+        let exported = a.export_container(&cid).unwrap();
+        let rfps = a.take_similarity_entries(cid);
+        b.adopt_container(0, exported, &rfps).unwrap();
+        a.retire_container(cid, 1).unwrap();
+
+        let journal = a.journal().unwrap().clone();
+        let (recovered, report) = DedupNode::recover(0, &cfg, journal).unwrap();
+        assert_eq!(report.tombstones_restored, 1);
+        assert_eq!(recovered.forwarded_to(&cid), Some(1));
+        assert_eq!(
+            recovered.storage_usage(),
+            0,
+            "tombstoned data stays dropped"
+        );
+        assert!(matches!(
+            recovered.read_chunk(&sc.descriptors()[0].fingerprint),
+            Err(SigmaError::ChunkMigrated { node: 1, .. })
+        ));
+        recovered.verify_consistency().unwrap();
     }
 
     #[test]

@@ -163,7 +163,9 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnOutcome {
     phases.push(snapshot("bootstrap", &cluster));
 
     // Phase 2: scale out — join a node and migrate containers onto it.
-    let (_joined, join_rebalance) = cluster.add_node_rebalanced();
+    let (_joined, join_rebalance) = cluster
+        .add_node_rebalanced()
+        .expect("no fault injection in the plain churn scenario");
     phases.push(snapshot("scale-out", &cluster));
 
     // Phase 3: second backup wave, deduplicating against migrated state.

@@ -14,6 +14,11 @@
 //!   cannot express: backup, add a node (with rebalancing), back up more, remove
 //!   a node, then restore everything and verify byte identity and physical-byte
 //!   conservation.
+//! * [`crash_churn`] — the same story under *unplanned* failure: a deterministic
+//!   [`FaultPlan`](crash_churn::FaultPlan) kills a node at a sampled
+//!   journal-record boundary (including mid-rebalance), the node is recovered
+//!   from its write-ahead journal, and every acknowledged byte must restore
+//!   identically afterwards.
 //!
 //! # Example
 //!
@@ -37,5 +42,6 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod crash_churn;
 pub mod experiments;
 pub mod runner;

@@ -242,6 +242,22 @@ impl ChunkIndex {
         self.stripes[stripe].read().contains_key(fp)
     }
 
+    /// Every finalized entry as `(fingerprint, location)` pairs, sorted by
+    /// fingerprint — the chunk-index half of a compaction snapshot.  Pending
+    /// claims are skipped: their chunks have no durable location yet.
+    pub fn finalized_entries(&self) -> Vec<(Fingerprint, ChunkLocation)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            for (fp, slot) in stripe.read().iter() {
+                if let Slot::Stored(loc) = slot {
+                    out.push((*fp, *loc));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(fp, _)| *fp);
+        out
+    }
+
     /// Number of indexed chunks.
     pub fn len(&self) -> usize {
         self.stripes.iter().map(|s| s.read().len()).sum()

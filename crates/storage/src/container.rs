@@ -89,6 +89,21 @@ pub struct Container {
 }
 
 impl Container {
+    /// Rebuilds a sealed container from its serialized parts (journal replay).
+    pub(crate) fn from_parts(
+        id: ContainerId,
+        meta: ContainerMeta,
+        data: Vec<u8>,
+        logical_size: usize,
+    ) -> Self {
+        Container {
+            id,
+            meta,
+            data,
+            logical_size,
+        }
+    }
+
     /// The container's identifier.
     pub fn id(&self) -> ContainerId {
         self.id

@@ -17,7 +17,8 @@
 //! stress suite exercises.
 
 use crate::{
-    Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Result, StorageError,
+    ChunkLocation, Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Journal,
+    JournalRecord, Result, StorageError,
 };
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -69,15 +70,24 @@ struct OpenSlot {
 /// let payload = b"a unique chunk".to_vec();
 /// let fp = Sha1::fingerprint(&payload);
 /// let location = store.store_chunk(0, fp, &payload).unwrap();
-/// store.flush();
+/// store.flush().unwrap();
 /// assert_eq!(store.read_chunk(&location.container, &fp).unwrap(), payload);
 /// ```
 pub struct ContainerStore {
     capacity: usize,
     disk: Option<Arc<DiskModel>>,
+    /// Write-ahead journal, when the node is durable: container seals, adoptions
+    /// and their chunk-index finalizations are appended *before* they take effect
+    /// in memory, so a crash can lose at most the open (unacknowledged) tail.
+    journal: Option<Arc<Journal>>,
     next_id: AtomicU64,
     open: RwLock<HashMap<StreamId, Arc<Mutex<OpenSlot>>>>,
     sealed: RwLock<HashMap<ContainerId, Container>>,
+    /// Adoption ledger: `(origin node, origin container) → local container`.
+    /// Adopting the same origin twice (a retried rebalance step, or replay of a
+    /// duplicated migration record) returns the existing local container instead
+    /// of double-storing the data.
+    adopted: RwLock<HashMap<(u64, ContainerId), ContainerId>>,
     sealed_containers: AtomicU64,
     stored_bytes: AtomicU64,
     stored_chunks: AtomicU64,
@@ -117,9 +127,11 @@ impl ContainerStore {
         ContainerStore {
             capacity,
             disk: None,
+            journal: None,
             next_id: AtomicU64::new(0),
             open: RwLock::new(HashMap::new()),
             sealed: RwLock::new(HashMap::new()),
+            adopted: RwLock::new(HashMap::new()),
             sealed_containers: AtomicU64::new(0),
             stored_bytes: AtomicU64::new(0),
             stored_chunks: AtomicU64::new(0),
@@ -137,6 +149,13 @@ impl ContainerStore {
     /// metadata and data reads as sequential reads.
     pub fn with_disk(mut self, disk: Arc<DiskModel>) -> Self {
         self.disk = Some(disk);
+        self
+    }
+
+    /// Attaches a write-ahead journal: every seal and adoption appends its records
+    /// before taking effect in memory.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -232,7 +251,7 @@ impl ContainerStore {
             if !guard.builder.as_ref().expect("checked above").fits(len) {
                 let full = guard.builder.take().expect("checked above");
                 guard.builder = Some(ContainerBuilder::new(self.alloc_id(), self.capacity));
-                self.seal(full);
+                self.seal(full)?;
             }
 
             let builder = guard.builder.as_mut().expect("fresh after rollover");
@@ -257,8 +276,40 @@ impl ContainerStore {
         guard.builder.as_ref().map(|b| b.id())
     }
 
-    fn seal(&self, builder: ContainerBuilder) {
+    /// The chunk-index entries a container's seal makes durable: one batched
+    /// finalize record per sealed container.
+    fn finalize_entries(container: &Container) -> Vec<(Fingerprint, ChunkLocation)> {
+        container
+            .meta()
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.fingerprint,
+                    ChunkLocation {
+                        container: container.id(),
+                        offset: r.offset,
+                        len: r.len,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn seal(&self, builder: ContainerBuilder) -> Result<()> {
         let container = builder.seal();
+        // Write-ahead: the container and its batched chunk-index finalize must be
+        // durable before the seal takes effect in memory.  A crash here drops the
+        // container entirely — its chunks were never acknowledged.
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::ContainerSeal {
+                container: container.clone(),
+            })?;
+            journal.append(&JournalRecord::ChunkIndexFinalize {
+                container: container.id(),
+                entries: Self::finalize_entries(&container),
+            })?;
+        }
         if let Some(disk) = &self.disk {
             disk.record_sequential_transfer(
                 (container.data_size() + container.meta().serialized_size()) as u64,
@@ -270,10 +321,16 @@ impl ContainerStore {
         self.stored_chunks
             .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
         self.sealed.write().insert(container.id(), container);
+        Ok(())
     }
 
     /// Seals every open container (end of a backup session).
-    pub fn flush(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first journal crash hit while sealing; the remaining open
+    /// containers are dropped, exactly as a crash would drop them.
+    pub fn flush(&self) -> Result<()> {
         // Retire every open slot.  The directory lock is released before the slots
         // are sealed; a store racing with the flush either appended before its slot
         // was retired (its chunk is sealed here) or finds the retired slot and
@@ -286,10 +343,11 @@ impl ContainerStore {
             let builder = slot.lock().builder.take();
             if let Some(builder) = builder {
                 if builder.chunk_count() > 0 {
-                    self.seal(builder);
+                    self.seal(builder)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Snapshots a still-open container holding `container`, if any.
@@ -408,11 +466,54 @@ impl ContainerStore {
     /// Adopts a container migrated from another node, re-identifying it in this
     /// store's ID space (per-node container IDs would otherwise collide).
     ///
-    /// Returns the container's new local identifier.  Charged to the disk model as
-    /// a sequential write, exactly like sealing a locally filled container.
-    pub fn adopt_sealed(&self, container: Container) -> ContainerId {
+    /// `origin_node` is the stable ID of the node the container came from; the
+    /// `(origin node, origin container)` pair keys an adoption ledger that makes
+    /// this operation **idempotent**: adopting the same origin again (a retried
+    /// rebalance step after a crash, or replay of a duplicated migration record)
+    /// returns the already-assigned local identifier without storing the data a
+    /// second time.  `rfps` are the representative fingerprints travelling with
+    /// the container; they are journaled with it so the adoption is one atomic
+    /// durable event.
+    ///
+    /// Returns the container's (possibly pre-existing) local identifier.  First
+    /// adoptions are charged to the disk model as a sequential write, exactly like
+    /// sealing a locally filled container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Crashed`] when the journal refuses the append.
+    pub fn adopt_sealed(
+        &self,
+        origin_node: u64,
+        container: Container,
+        rfps: &[Fingerprint],
+    ) -> Result<ContainerId> {
+        let origin = (origin_node, container.id());
+        // The ledger write-lock is held across the whole adoption (check,
+        // journal appends, counters, install): a bare check-then-act would let
+        // two overlapping rebalance plans racing on the same origin both pass
+        // the check and double-store the container.  The ledger lock is taken
+        // before the journal's internal lock on this path and nothing takes
+        // them in the opposite order, and migrations are rare enough that the
+        // serialization cost is irrelevant.
+        let mut adopted = self.adopted.write();
+        if let Some(existing) = adopted.get(&origin) {
+            return Ok(*existing);
+        }
         let new_id = self.alloc_id();
         let container = container.with_id(new_id);
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::ContainerAdopt {
+                origin_node,
+                origin_container: origin.1,
+                container: container.clone(),
+                rfps: rfps.to_vec(),
+            })?;
+            journal.append(&JournalRecord::ChunkIndexFinalize {
+                container: new_id,
+                entries: Self::finalize_entries(&container),
+            })?;
+        }
         if let Some(disk) = &self.disk {
             disk.record_sequential_transfer(
                 (container.data_size() + container.meta().serialized_size()) as u64,
@@ -423,8 +524,95 @@ impl ContainerStore {
             .fetch_add(container.data_size() as u64, Ordering::Relaxed);
         self.stored_chunks
             .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
+        adopted.insert(origin, new_id);
         self.sealed.write().insert(new_id, container);
-        new_id
+        Ok(new_id)
+    }
+
+    /// Installs a container during journal replay, preserving its identifier.
+    ///
+    /// Unlike [`adopt_sealed`](Self::adopt_sealed) this writes nothing back to the
+    /// journal (the record being replayed *is* the durable copy) and charges no
+    /// disk I/O (the replay itself is charged as one sequential journal read).
+    /// Returns `false` when `origin` was already adopted — the guard that keeps a
+    /// duplicated migration record from double-installing a container.
+    pub fn install_recovered(
+        &self,
+        origin: Option<(u64, ContainerId)>,
+        container: Container,
+    ) -> bool {
+        if let Some(origin) = origin {
+            let mut adopted = self.adopted.write();
+            if adopted.contains_key(&origin) {
+                return false;
+            }
+            adopted.insert(origin, container.id());
+        }
+        let id = container.id();
+        self.next_id.fetch_max(id.as_u64() + 1, Ordering::Relaxed);
+        self.sealed_containers.fetch_add(1, Ordering::Relaxed);
+        self.stored_bytes
+            .fetch_add(container.data_size() as u64, Ordering::Relaxed);
+        self.stored_chunks
+            .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
+        self.sealed.write().insert(id, container);
+        true
+    }
+
+    /// The adoption ledger: `(origin node, origin container, local container)` for
+    /// every container this store adopted, sorted for deterministic iteration.
+    pub fn adopted_origins(&self) -> Vec<(u64, ContainerId, ContainerId)> {
+        let mut out: Vec<(u64, ContainerId, ContainerId)> = self
+            .adopted
+            .read()
+            .iter()
+            .map(|(&(node, origin), &local)| (node, origin, local))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Clones every sealed container together with its adoption origin (if any),
+    /// sorted by container ID — the container half of a compaction snapshot.
+    pub fn sealed_snapshot(&self) -> Vec<(Option<(u64, ContainerId)>, Container)> {
+        let by_local: HashMap<ContainerId, (u64, ContainerId)> = self
+            .adopted
+            .read()
+            .iter()
+            .map(|(&origin, &local)| (local, origin))
+            .collect();
+        let mut out: Vec<(Option<(u64, ContainerId)>, Container)> = self
+            .sealed
+            .read()
+            .values()
+            .map(|c| (by_local.get(&c.id()).copied(), c.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(_, c)| c.id());
+        out
+    }
+
+    /// The container ID the next allocation will use.
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Sets the next container ID to allocate to at least `next` (snapshot replay).
+    pub fn restore_next_id(&self, next: u64) {
+        self.next_id.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// True if a sealed container with this ID is present.
+    pub fn contains_sealed(&self, container: &ContainerId) -> bool {
+        self.sealed.read().contains_key(container)
+    }
+
+    /// Identifiers of the currently open containers (one per active stream).
+    pub fn open_container_ids(&self) -> Vec<ContainerId> {
+        let slots: Vec<Arc<Mutex<OpenSlot>>> = self.open.read().values().cloned().collect();
+        slots
+            .iter()
+            .filter_map(|slot| slot.lock().builder.as_ref().map(|b| b.id()))
+            .collect()
     }
 
     /// Removes a sealed container (the final step of migrating it away),
@@ -489,7 +677,7 @@ mod tests {
         let store = ContainerStore::new(1024);
         let (fp, data) = payload(1, 100);
         let loc = store.store_chunk(0, fp, &data).unwrap();
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.read_chunk(&loc.container, &fp).unwrap(), data);
         assert_eq!(store.physical_bytes(), 100);
     }
@@ -506,7 +694,7 @@ mod tests {
         // 100-byte chunks, 250-byte containers => 2 chunks per container => 5 containers.
         assert_eq!(containers.len(), 5);
         assert_eq!(store.stats().sealed_containers, 4, "last one still open");
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.stats().sealed_containers, 5);
         assert_eq!(store.stats().stored_chunks, 10);
     }
@@ -546,7 +734,7 @@ mod tests {
             container = Some(loc.container);
             expect.push(fp);
         }
-        store.flush();
+        store.flush().unwrap();
         let meta = store.read_metadata(&container.unwrap()).unwrap();
         let got: Vec<Fingerprint> = meta.fingerprints().collect();
         assert_eq!(got, expect);
@@ -562,7 +750,7 @@ mod tests {
         ));
         let (fp, data) = payload(1, 10);
         let loc = store.store_chunk(0, fp, &data).unwrap();
-        store.flush();
+        store.flush().unwrap();
         let (other_fp, _) = payload(2, 10);
         assert!(matches!(
             store.read_chunk(&loc.container, &other_fp),
@@ -578,7 +766,7 @@ mod tests {
             let (fp, data) = payload(i, 100);
             store.store_chunk(0, fp, &data).unwrap();
         }
-        store.flush();
+        store.flush().unwrap();
         let d = disk.stats();
         assert!(d.sequential_ops >= 2, "sealed containers must be written");
         assert!(d.sequential_bytes >= 400);
@@ -587,7 +775,7 @@ mod tests {
     #[test]
     fn flush_skips_empty_containers() {
         let store = ContainerStore::new(1024);
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.stats().sealed_containers, 0);
     }
 
@@ -602,7 +790,7 @@ mod tests {
         }
         // 400-byte logical chunks in 1000-byte containers => 2 per container.
         assert_eq!(containers.len(), 3);
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.physical_bytes(), 2400);
         assert_eq!(store.stats().stored_chunks, 6);
         // Synthetic chunks cannot be read back.
@@ -642,7 +830,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        store.flush();
+        store.flush().unwrap();
         let stats = store.stats();
         assert_eq!(stats.stored_chunks, 8 * 64, "no chunk may be lost");
         assert_eq!(store.physical_bytes(), 8 * 64 * 128);
@@ -681,7 +869,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.stats().stored_chunks, 4 * 400);
     }
 
@@ -698,11 +886,11 @@ mod tests {
             })
         };
         for _ in 0..32 {
-            store.flush();
+            store.flush().unwrap();
             std::thread::yield_now();
         }
         writer.join().unwrap();
-        store.flush();
+        store.flush().unwrap();
         assert_eq!(store.stats().stored_chunks, 512);
         assert_eq!(store.physical_bytes(), 512 * 64);
     }

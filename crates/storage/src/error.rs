@@ -25,6 +25,13 @@ pub enum StorageError {
     },
     /// The container was already sealed and cannot accept more chunks.
     ContainerSealed(ContainerId),
+    /// The node's write-ahead journal hit an (injected or real) crash point: the
+    /// append did not become durable and the node must be considered dead until
+    /// it is recovered from the journal.
+    Crashed,
+    /// Disk parameters were rejected at validation time (the message names the
+    /// offending field and value).
+    InvalidDiskParams(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -51,6 +58,12 @@ impl std::fmt::Display for StorageError {
                 chunk_size, container_capacity
             ),
             StorageError::ContainerSealed(id) => write!(f, "container {} is sealed", id),
+            StorageError::Crashed => {
+                write!(f, "node crashed: journal append did not become durable")
+            }
+            StorageError::InvalidDiskParams(msg) => {
+                write!(f, "invalid disk parameters: {}", msg)
+            }
         }
     }
 }

@@ -1,0 +1,1037 @@
+//! The write-ahead journal: durable node state and deterministic crash points.
+//!
+//! Everything a deduplication node keeps in RAM — chunk index, similarity index,
+//! container directory — is rebuildable from an append-only journal of checksummed
+//! frames.  The journal models the node's durable medium: a crash destroys the
+//! in-memory structures but never the journal, and
+//! [`DedupNode::recover`](../../sigma_core/struct.DedupNode.html#method.recover)
+//! replays the surviving frames back into a consistent node.
+//!
+//! # Record kinds
+//!
+//! | record | written when | replay effect |
+//! |---|---|---|
+//! | [`ContainerSeal`](JournalRecord::ContainerSeal) | an open container fills or is flushed | reinstall the sealed container and index its chunks |
+//! | [`ChunkIndexFinalize`](JournalRecord::ChunkIndexFinalize) | the seal makes the container's claimed fingerprints durable | upsert the batched chunk-index entries |
+//! | [`SimilarityPublish`](JournalRecord::SimilarityPublish) | a super-chunk's handprint is mapped to its container | re-insert RFP → container mappings |
+//! | [`ContainerAdopt`](JournalRecord::ContainerAdopt) | the rebalancer installs a migrated container | reinstall container + index + RFPs, keyed by origin so a duplicated record cannot double-adopt |
+//! | [`Tombstone`](JournalRecord::Tombstone) | a migrated container's forwarding pointer is published (always *before* the data drops) | drop the container, keep the chunk entries, record the forwarding pointer |
+//! | [`StatsCheckpoint`](JournalRecord::StatsCheckpoint) | a flush acknowledges a backup session | restore the node's ingest counters |
+//! | [`Snapshot`](JournalRecord::Snapshot) | [`Journal::compact`] folds the log | install the whole materialized state at once |
+//!
+//! # Frames, torn tails and crash points
+//!
+//! Each record is wrapped in a frame — magic, payload length, sequence number,
+//! FNV-1a checksum, payload — so replay can tell a *complete* record from a torn
+//! one.  Replay stops at the first truncated or corrupt frame and reports the
+//! discarded suffix: a torn tail is data that was never acknowledged, so it is
+//! dropped, never half-applied.
+//!
+//! Crash points are *journal-append boundaries*: [`Journal::arm_crash_at_seq`]
+//! makes the append that would receive the given sequence number fail (optionally
+//! leaving a torn frame behind, as a real power cut would) and marks the journal
+//! crashed; every later append fails too.  Because appends are the only way state
+//! becomes durable, this deterministically reproduces "the process died between
+//! these two records" for any record boundary, including the
+//! adopt-then-tombstone boundary inside a rebalance step.
+
+use crate::{
+    ChunkLocation, ChunkRecord, Container, ContainerId, ContainerMeta, DiskModel, StorageError,
+};
+use parking_lot::Mutex;
+use sigma_hashkit::{fnv1a_64, Fingerprint};
+use std::sync::Arc;
+
+/// Magic bytes starting every journal frame (`"SJRN"`).
+const FRAME_MAGIC: u32 = 0x534A_524E;
+
+/// Fixed size of a frame header: magic + payload length + sequence + checksum.
+const FRAME_HEADER: usize = 4 + 4 + 8 + 8;
+
+/// One durable record in a node's write-ahead journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A locally filled container was sealed; carries the full container so the
+    /// journal is self-sufficient as the durable medium.
+    ContainerSeal {
+        /// The sealed container (data + metadata sections).
+        container: Container,
+    },
+    /// The chunk-index entries made durable by a container seal (the batched
+    /// finalize of every fingerprint claimed into that container).
+    ChunkIndexFinalize {
+        /// Container the batch belongs to.
+        container: ContainerId,
+        /// `(fingerprint, location)` pairs in write order.
+        entries: Vec<(Fingerprint, ChunkLocation)>,
+    },
+    /// Representative fingerprints of a deduplicated super-chunk were mapped to a
+    /// container in the similarity index.
+    SimilarityPublish {
+        /// Container the handprint was mapped to.
+        container: ContainerId,
+        /// The representative fingerprints.
+        rfps: Vec<Fingerprint>,
+    },
+    /// A container migrated from another node was installed here.
+    ContainerAdopt {
+        /// Stable ID of the node the container came from.
+        origin_node: u64,
+        /// The container's identifier on the origin node.
+        origin_container: ContainerId,
+        /// The container under its new local identifier.
+        container: Container,
+        /// Representative fingerprints re-homed with the container.
+        rfps: Vec<Fingerprint>,
+    },
+    /// A migrated-away container's forwarding pointer; journaled *before* the
+    /// container data is dropped, which is what keeps mid-migration crashes safe.
+    Tombstone {
+        /// The retired container.
+        container: ContainerId,
+        /// Stable ID of the node now holding the data.
+        successor: u64,
+    },
+    /// Ingest counters at an acknowledgement point (end of a flush).
+    StatsCheckpoint {
+        /// Logical bytes ingested.
+        logical_bytes: u64,
+        /// Total chunks received.
+        total_chunks: u64,
+        /// Unique chunks stored.
+        unique_chunks: u64,
+        /// Super-chunks processed.
+        super_chunks: u64,
+    },
+    /// A compaction checkpoint: the node's whole materialized state.
+    Snapshot(NodeSnapshot),
+}
+
+impl JournalRecord {
+    /// Short name of the record kind (for reports and debugging).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalRecord::ContainerSeal { .. } => "container-seal",
+            JournalRecord::ChunkIndexFinalize { .. } => "chunk-index-finalize",
+            JournalRecord::SimilarityPublish { .. } => "similarity-publish",
+            JournalRecord::ContainerAdopt { .. } => "container-adopt",
+            JournalRecord::Tombstone { .. } => "tombstone",
+            JournalRecord::StatsCheckpoint { .. } => "stats-checkpoint",
+            JournalRecord::Snapshot(_) => "snapshot",
+        }
+    }
+}
+
+/// The full materialized state of a node, as written by a compaction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSnapshot {
+    /// Next container ID the store will allocate.
+    pub next_container_id: u64,
+    /// Sealed containers, each with the origin key it was adopted under (if any).
+    pub containers: Vec<(Option<(u64, ContainerId)>, Container)>,
+    /// Finalized chunk-index entries.
+    pub chunk_entries: Vec<(Fingerprint, ChunkLocation)>,
+    /// Similarity-index entries.
+    pub similarity: Vec<(Fingerprint, ContainerId)>,
+    /// Forwarding tombstones (`container → successor node`).
+    pub tombstones: Vec<(ContainerId, u64)>,
+    /// Logical bytes ingested.
+    pub logical_bytes: u64,
+    /// Total chunks received.
+    pub total_chunks: u64,
+    /// Unique chunks stored.
+    pub unique_chunks: u64,
+    /// Super-chunks processed.
+    pub super_chunks: u64,
+}
+
+/// Summary of one journal replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplaySummary {
+    /// Complete frames replayed.
+    pub frames: u64,
+    /// Bytes covered by the replayed frames.
+    pub bytes_replayed: u64,
+    /// Trailing bytes discarded as a torn or corrupt tail.
+    pub bytes_discarded: u64,
+}
+
+/// How an armed crash manifests on the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The append persists nothing: the crash hit exactly on the record boundary.
+    Clean,
+    /// The append persists a prefix of the frame, as a power cut mid-write would;
+    /// replay must discard it as a torn tail.
+    Torn,
+}
+
+#[derive(Debug)]
+struct ArmedCrash {
+    at_seq: u64,
+    mode: CrashMode,
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    bytes: Vec<u8>,
+    /// Sequence number the next append will receive.
+    next_seq: u64,
+    /// End offset (and sequence) of every complete frame, in order.
+    boundaries: Vec<(u64, usize)>,
+    crashed: bool,
+    armed: Option<ArmedCrash>,
+}
+
+/// An append-only, checksummed write-ahead journal — one per durable node.
+///
+/// Appends are charged to the attached [`DiskModel`] as sequential writes (a WAL
+/// is the sequential-I/O structure par excellence), replay as one sequential read.
+///
+/// # Example
+///
+/// ```
+/// use sigma_storage::{Journal, JournalRecord, ContainerId};
+///
+/// let journal = Journal::new();
+/// journal
+///     .append(&JournalRecord::Tombstone { container: ContainerId::new(7), successor: 2 })
+///     .unwrap();
+/// let (records, summary) = Journal::replay(&journal.bytes());
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(summary.bytes_discarded, 0);
+/// ```
+pub struct Journal {
+    state: Mutex<JournalState>,
+    /// Rebindable: recovery builds a fresh node (and fresh [`DiskModel`]) and
+    /// re-targets the surviving journal at it via [`attach_disk`](Journal::attach_disk),
+    /// so post-recovery appends keep being charged to the node that owns them.
+    disk: parking_lot::RwLock<Option<Arc<DiskModel>>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Journal")
+            .field("bytes", &state.bytes.len())
+            .field("frames", &state.boundaries.len())
+            .field("next_seq", &state.next_seq)
+            .field("crashed", &state.crashed)
+            .finish()
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    /// Creates an empty journal without disk accounting.
+    pub fn new() -> Self {
+        Journal {
+            state: Mutex::new(JournalState::default()),
+            disk: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// Creates an empty journal whose appends and replays are charged to `disk`.
+    pub fn with_disk(disk: Arc<DiskModel>) -> Self {
+        Journal {
+            state: Mutex::new(JournalState::default()),
+            disk: parking_lot::RwLock::new(Some(disk)),
+        }
+    }
+
+    /// Re-targets disk accounting at `disk`.
+    ///
+    /// A recovered node owns a fresh [`DiskModel`]; the journal survives the
+    /// crash, so its charges must follow the new owner — otherwise every
+    /// post-recovery append would be billed to the discarded node's model and
+    /// vanish from the recovered node's statistics.
+    pub fn attach_disk(&self, disk: Arc<DiskModel>) {
+        *self.disk.write() = Some(disk);
+    }
+
+    /// Reconstructs a journal from previously captured [`bytes`](Self::bytes) —
+    /// the crash image a fault harness hands to recovery.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let journal = Journal::new();
+        {
+            let mut state = journal.state.lock();
+            let boundaries = scan_frames(&bytes);
+            state.next_seq = boundaries.last().map(|&(seq, _)| seq + 1).unwrap_or(0);
+            state.boundaries = boundaries;
+            state.bytes = bytes;
+        }
+        journal
+    }
+
+    /// Appends one record, returning its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Crashed`] when an armed fault point fires on this
+    /// append (the frame is dropped or torn according to the [`CrashMode`]) or
+    /// when the journal already crashed; nothing after a crash becomes durable.
+    pub fn append(&self, record: &JournalRecord) -> Result<u64, StorageError> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(StorageError::Crashed);
+        }
+        let seq = state.next_seq;
+        if let Some(armed) = &state.armed {
+            if armed.at_seq == seq {
+                let mode = armed.mode;
+                if mode == CrashMode::Torn {
+                    let frame = encode_frame(seq, record);
+                    // A power cut mid-write leaves a prefix of the frame behind;
+                    // cutting inside the payload (past the header) exercises the
+                    // checksum path rather than the short-header path alone.
+                    let torn = (frame.len() / 2).max(1);
+                    state.bytes.extend_from_slice(&frame[..torn]);
+                }
+                state.crashed = true;
+                state.armed = None;
+                return Err(StorageError::Crashed);
+            }
+        }
+        let frame = encode_frame(seq, record);
+        if let Some(disk) = self.disk.read().as_ref() {
+            disk.record_sequential_transfer(frame.len() as u64);
+        }
+        state.bytes.extend_from_slice(&frame);
+        let end = state.bytes.len();
+        state.boundaries.push((seq, end));
+        state.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Arms a deterministic crash: the append that would receive sequence number
+    /// `seq` fails in the given [`CrashMode`] and the journal refuses all further
+    /// appends until [`recover_truncating`](Self::recover_truncating) runs.
+    pub fn arm_crash_at_seq(&self, seq: u64, mode: CrashMode) {
+        self.state.lock().armed = Some(ArmedCrash { at_seq: seq, mode });
+    }
+
+    /// Disarms a previously armed crash point.
+    pub fn disarm(&self) {
+        self.state.lock().armed = None;
+    }
+
+    /// True once an armed crash fired; all appends fail until recovery.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+
+    /// Number of complete frames currently in the journal.
+    pub fn frame_count(&self) -> u64 {
+        self.state.lock().boundaries.len() as u64
+    }
+
+    /// Total journal size in bytes (including any torn tail).
+    pub fn len_bytes(&self) -> usize {
+        self.state.lock().bytes.len()
+    }
+
+    /// Byte offset just past each complete frame, in order — the crash points a
+    /// fault plan samples from.
+    pub fn frame_boundaries(&self) -> Vec<usize> {
+        self.state
+            .lock()
+            .boundaries
+            .iter()
+            .map(|&(_, end)| end)
+            .collect()
+    }
+
+    /// A copy of the raw journal bytes (the durable medium's current contents).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.state.lock().bytes.clone()
+    }
+
+    /// Parses a journal byte stream into records.
+    ///
+    /// Replay is *lenient at the tail*: the first truncated or corrupt frame ends
+    /// the replay and everything from it onward is reported as discarded.  This is
+    /// the torn-tail rule — an interrupted append must disappear, not half-apply.
+    pub fn replay(bytes: &[u8]) -> (Vec<JournalRecord>, ReplaySummary) {
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        let mut frames = 0u64;
+        while let Some((record, end)) = decode_frame(bytes, offset) {
+            records.push(record);
+            offset = end;
+            frames += 1;
+        }
+        let summary = ReplaySummary {
+            frames,
+            bytes_replayed: offset as u64,
+            bytes_discarded: (bytes.len() - offset) as u64,
+        };
+        (records, summary)
+    }
+
+    /// Replays this journal's own contents, truncating any torn tail and clearing
+    /// the crashed flag — what recovery does before the journal is reused as the
+    /// recovered node's write-ahead log.
+    ///
+    /// Charged to the disk model as one sequential read of the replayed bytes.
+    pub fn recover_truncating(&self) -> (Vec<JournalRecord>, ReplaySummary) {
+        let mut state = self.state.lock();
+        let (records, summary) = Journal::replay(&state.bytes);
+        state.bytes.truncate(summary.bytes_replayed as usize);
+        state.boundaries = scan_frames(&state.bytes);
+        state.next_seq = state
+            .boundaries
+            .last()
+            .map(|&(seq, _)| seq + 1)
+            .unwrap_or(0);
+        state.crashed = false;
+        state.armed = None;
+        if let Some(disk) = self.disk.read().as_ref() {
+            disk.record_sequential_transfer(summary.bytes_replayed);
+        }
+        (records, summary)
+    }
+
+    /// Compacts the journal to a single [`JournalRecord::Snapshot`] frame.
+    ///
+    /// Must be called at a quiescent point (no concurrent appends from the same
+    /// node); the node-side wrapper
+    /// ([`DedupNode::compact_journal`](../../sigma_core/struct.DedupNode.html#method.compact_journal))
+    /// captures the state and calls this.  Sequence numbers keep counting up so a
+    /// crash armed at a future boundary survives compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Crashed`] if the journal has crashed.
+    pub fn compact(&self, snapshot: NodeSnapshot) -> Result<(), StorageError> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(StorageError::Crashed);
+        }
+        let seq = state.next_seq;
+        // Compaction consumes a sequence number like any append, so an armed
+        // crash landing on it must fire here too — otherwise a fault plan
+        // sampling this boundary would silently inject nothing.  Compaction is
+        // modelled as atomic (write-new-log-then-swap), so even a torn crash
+        // leaves the *old* log intact rather than a torn snapshot frame.
+        if let Some(armed) = &state.armed {
+            if armed.at_seq == seq {
+                state.crashed = true;
+                state.armed = None;
+                return Err(StorageError::Crashed);
+            }
+        }
+        let frame = encode_frame(seq, &JournalRecord::Snapshot(snapshot));
+        if let Some(disk) = self.disk.read().as_ref() {
+            disk.record_sequential_transfer(frame.len() as u64);
+        }
+        state.bytes.clear();
+        state.bytes.extend_from_slice(&frame);
+        state.boundaries.clear();
+        let end = state.bytes.len();
+        state.boundaries.push((seq, end));
+        state.next_seq = seq + 1;
+        Ok(())
+    }
+}
+
+/// Scans a byte stream for complete frames, returning `(seq, end_offset)` pairs.
+fn scan_frames(bytes: &[u8]) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while let Some((seq, end)) = peek_frame(bytes, offset) {
+        out.push((seq, end));
+        offset = end;
+    }
+    out
+}
+
+/// Validates the frame at `offset` without decoding its payload.
+fn peek_frame(bytes: &[u8], offset: usize) -> Option<(u64, usize)> {
+    if bytes.len() < offset + FRAME_HEADER {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?);
+    if magic != FRAME_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().ok()?) as usize;
+    let seq = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().ok()?);
+    let checksum = u64::from_le_bytes(bytes[offset + 16..offset + 24].try_into().ok()?);
+    let start = offset + FRAME_HEADER;
+    let end = start.checked_add(len)?;
+    if bytes.len() < end {
+        return None;
+    }
+    let payload = &bytes[start..end];
+    if fnv1a_64(payload) != checksum {
+        return None;
+    }
+    Some((seq, end))
+}
+
+fn encode_frame(seq: u64, record: &JournalRecord) -> Vec<u8> {
+    let payload = encode_record(record);
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn decode_frame(bytes: &[u8], offset: usize) -> Option<(JournalRecord, usize)> {
+    let (_, end) = peek_frame(bytes, offset)?;
+    let payload = &bytes[offset + FRAME_HEADER..end];
+    let mut reader = Reader::new(payload);
+    let record = decode_record(&mut reader)?;
+    if !reader.is_empty() {
+        // Trailing garbage inside a checksummed payload means an encoder/decoder
+        // mismatch; treat the frame (and everything after it) as unreadable.
+        return None;
+    }
+    Some((record, end))
+}
+
+// ---- record payload encoding ----
+//
+// A tiny hand-rolled little-endian format: the vendored serde shim is
+// derive-only, so the journal defines its own wire layout (tag byte + fields).
+// Stability matters only within one repository version — the journal is a
+// simulation artifact, not an interchange format.
+
+const TAG_CONTAINER_SEAL: u8 = 1;
+const TAG_CHUNK_INDEX_FINALIZE: u8 = 2;
+const TAG_SIMILARITY_PUBLISH: u8 = 3;
+const TAG_CONTAINER_ADOPT: u8 = 4;
+const TAG_TOMBSTONE: u8 = 5;
+const TAG_STATS_CHECKPOINT: u8 = 6;
+const TAG_SNAPSHOT: u8 = 7;
+
+fn encode_record(record: &JournalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        JournalRecord::ContainerSeal { container } => {
+            out.push(TAG_CONTAINER_SEAL);
+            encode_container(&mut out, container);
+        }
+        JournalRecord::ChunkIndexFinalize { container, entries } => {
+            out.push(TAG_CHUNK_INDEX_FINALIZE);
+            out.extend_from_slice(&container.as_u64().to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (fp, loc) in entries {
+                out.extend_from_slice(fp.as_bytes());
+                out.extend_from_slice(&loc.container.as_u64().to_le_bytes());
+                out.extend_from_slice(&loc.offset.to_le_bytes());
+                out.extend_from_slice(&loc.len.to_le_bytes());
+            }
+        }
+        JournalRecord::SimilarityPublish { container, rfps } => {
+            out.push(TAG_SIMILARITY_PUBLISH);
+            out.extend_from_slice(&container.as_u64().to_le_bytes());
+            encode_fingerprints(&mut out, rfps);
+        }
+        JournalRecord::ContainerAdopt {
+            origin_node,
+            origin_container,
+            container,
+            rfps,
+        } => {
+            out.push(TAG_CONTAINER_ADOPT);
+            out.extend_from_slice(&origin_node.to_le_bytes());
+            out.extend_from_slice(&origin_container.as_u64().to_le_bytes());
+            encode_container(&mut out, container);
+            encode_fingerprints(&mut out, rfps);
+        }
+        JournalRecord::Tombstone {
+            container,
+            successor,
+        } => {
+            out.push(TAG_TOMBSTONE);
+            out.extend_from_slice(&container.as_u64().to_le_bytes());
+            out.extend_from_slice(&successor.to_le_bytes());
+        }
+        JournalRecord::StatsCheckpoint {
+            logical_bytes,
+            total_chunks,
+            unique_chunks,
+            super_chunks,
+        } => {
+            out.push(TAG_STATS_CHECKPOINT);
+            out.extend_from_slice(&logical_bytes.to_le_bytes());
+            out.extend_from_slice(&total_chunks.to_le_bytes());
+            out.extend_from_slice(&unique_chunks.to_le_bytes());
+            out.extend_from_slice(&super_chunks.to_le_bytes());
+        }
+        JournalRecord::Snapshot(snap) => {
+            out.push(TAG_SNAPSHOT);
+            out.extend_from_slice(&snap.next_container_id.to_le_bytes());
+            out.extend_from_slice(&(snap.containers.len() as u32).to_le_bytes());
+            for (origin, container) in &snap.containers {
+                match origin {
+                    Some((node, cid)) => {
+                        out.push(1);
+                        out.extend_from_slice(&node.to_le_bytes());
+                        out.extend_from_slice(&cid.as_u64().to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+                encode_container(&mut out, container);
+            }
+            out.extend_from_slice(&(snap.chunk_entries.len() as u32).to_le_bytes());
+            for (fp, loc) in &snap.chunk_entries {
+                out.extend_from_slice(fp.as_bytes());
+                out.extend_from_slice(&loc.container.as_u64().to_le_bytes());
+                out.extend_from_slice(&loc.offset.to_le_bytes());
+                out.extend_from_slice(&loc.len.to_le_bytes());
+            }
+            out.extend_from_slice(&(snap.similarity.len() as u32).to_le_bytes());
+            for (fp, cid) in &snap.similarity {
+                out.extend_from_slice(fp.as_bytes());
+                out.extend_from_slice(&cid.as_u64().to_le_bytes());
+            }
+            out.extend_from_slice(&(snap.tombstones.len() as u32).to_le_bytes());
+            for (cid, successor) in &snap.tombstones {
+                out.extend_from_slice(&cid.as_u64().to_le_bytes());
+                out.extend_from_slice(&successor.to_le_bytes());
+            }
+            out.extend_from_slice(&snap.logical_bytes.to_le_bytes());
+            out.extend_from_slice(&snap.total_chunks.to_le_bytes());
+            out.extend_from_slice(&snap.unique_chunks.to_le_bytes());
+            out.extend_from_slice(&snap.super_chunks.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_record(r: &mut Reader<'_>) -> Option<JournalRecord> {
+    match r.u8()? {
+        TAG_CONTAINER_SEAL => Some(JournalRecord::ContainerSeal {
+            container: decode_container(r)?,
+        }),
+        TAG_CHUNK_INDEX_FINALIZE => {
+            let container = ContainerId::new(r.u64()?);
+            let count = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(count.min(65_536));
+            for _ in 0..count {
+                let fp = r.fingerprint()?;
+                let loc = ChunkLocation {
+                    container: ContainerId::new(r.u64()?),
+                    offset: r.u32()?,
+                    len: r.u32()?,
+                };
+                entries.push((fp, loc));
+            }
+            Some(JournalRecord::ChunkIndexFinalize { container, entries })
+        }
+        TAG_SIMILARITY_PUBLISH => {
+            let container = ContainerId::new(r.u64()?);
+            let rfps = decode_fingerprints(r)?;
+            Some(JournalRecord::SimilarityPublish { container, rfps })
+        }
+        TAG_CONTAINER_ADOPT => {
+            let origin_node = r.u64()?;
+            let origin_container = ContainerId::new(r.u64()?);
+            let container = decode_container(r)?;
+            let rfps = decode_fingerprints(r)?;
+            Some(JournalRecord::ContainerAdopt {
+                origin_node,
+                origin_container,
+                container,
+                rfps,
+            })
+        }
+        TAG_TOMBSTONE => Some(JournalRecord::Tombstone {
+            container: ContainerId::new(r.u64()?),
+            successor: r.u64()?,
+        }),
+        TAG_STATS_CHECKPOINT => Some(JournalRecord::StatsCheckpoint {
+            logical_bytes: r.u64()?,
+            total_chunks: r.u64()?,
+            unique_chunks: r.u64()?,
+            super_chunks: r.u64()?,
+        }),
+        TAG_SNAPSHOT => {
+            let next_container_id = r.u64()?;
+            let container_count = r.u32()? as usize;
+            let mut containers = Vec::with_capacity(container_count.min(65_536));
+            for _ in 0..container_count {
+                let origin = match r.u8()? {
+                    0 => None,
+                    1 => Some((r.u64()?, ContainerId::new(r.u64()?))),
+                    _ => return None,
+                };
+                containers.push((origin, decode_container(r)?));
+            }
+            let entry_count = r.u32()? as usize;
+            let mut chunk_entries = Vec::with_capacity(entry_count.min(65_536));
+            for _ in 0..entry_count {
+                let fp = r.fingerprint()?;
+                let loc = ChunkLocation {
+                    container: ContainerId::new(r.u64()?),
+                    offset: r.u32()?,
+                    len: r.u32()?,
+                };
+                chunk_entries.push((fp, loc));
+            }
+            let sim_count = r.u32()? as usize;
+            let mut similarity = Vec::with_capacity(sim_count.min(65_536));
+            for _ in 0..sim_count {
+                similarity.push((r.fingerprint()?, ContainerId::new(r.u64()?)));
+            }
+            let tomb_count = r.u32()? as usize;
+            let mut tombstones = Vec::with_capacity(tomb_count.min(65_536));
+            for _ in 0..tomb_count {
+                tombstones.push((ContainerId::new(r.u64()?), r.u64()?));
+            }
+            Some(JournalRecord::Snapshot(NodeSnapshot {
+                next_container_id,
+                containers,
+                chunk_entries,
+                similarity,
+                tombstones,
+                logical_bytes: r.u64()?,
+                total_chunks: r.u64()?,
+                unique_chunks: r.u64()?,
+                super_chunks: r.u64()?,
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn encode_container(out: &mut Vec<u8>, container: &Container) {
+    out.extend_from_slice(&container.id().as_u64().to_le_bytes());
+    out.extend_from_slice(&(container.data_size() as u64).to_le_bytes());
+    out.extend_from_slice(&(container.data().len() as u32).to_le_bytes());
+    out.extend_from_slice(container.data());
+    out.extend_from_slice(&(container.meta().records.len() as u32).to_le_bytes());
+    for record in &container.meta().records {
+        out.extend_from_slice(record.fingerprint.as_bytes());
+        out.extend_from_slice(&record.offset.to_le_bytes());
+        out.extend_from_slice(&record.len.to_le_bytes());
+    }
+}
+
+fn decode_container(r: &mut Reader<'_>) -> Option<Container> {
+    let id = ContainerId::new(r.u64()?);
+    let logical_size = r.u64()? as usize;
+    let data_len = r.u32()? as usize;
+    let data = r.bytes(data_len)?.to_vec();
+    let record_count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(record_count.min(65_536));
+    for _ in 0..record_count {
+        records.push(ChunkRecord {
+            fingerprint: r.fingerprint()?,
+            offset: r.u32()?,
+            len: r.u32()?,
+        });
+    }
+    Some(Container::from_parts(
+        id,
+        ContainerMeta { records },
+        data,
+        logical_size,
+    ))
+}
+
+fn encode_fingerprints(out: &mut Vec<u8>, fps: &[Fingerprint]) {
+    out.extend_from_slice(&(fps.len() as u32).to_le_bytes());
+    for fp in fps {
+        out.extend_from_slice(fp.as_bytes());
+    }
+}
+
+fn decode_fingerprints(r: &mut Reader<'_>) -> Option<Vec<Fingerprint>> {
+    let count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(65_536));
+    for _ in 0..count {
+        out.push(r.fingerprint()?);
+    }
+    Some(out)
+}
+
+/// A bounds-checked little-endian byte reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, offset: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.offset == self.bytes.len()
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.offset.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.offset..end];
+        self.offset = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+
+    fn fingerprint(&mut self) -> Option<Fingerprint> {
+        Some(Fingerprint::from_digest(self.bytes(Fingerprint::LEN)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContainerBuilder;
+    use sigma_hashkit::{Digest, Sha1};
+
+    fn fp(i: u64) -> Fingerprint {
+        Sha1::fingerprint(&i.to_le_bytes())
+    }
+
+    fn sample_container(id: u64) -> Container {
+        let mut b = ContainerBuilder::new(ContainerId::new(id), 4096);
+        for i in 0..4u64 {
+            let data = vec![(id + i) as u8; 100];
+            assert!(b.try_append(Sha1::fingerprint(&data), &data));
+        }
+        b.seal()
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::ContainerSeal {
+                container: sample_container(0),
+            },
+            JournalRecord::ChunkIndexFinalize {
+                container: ContainerId::new(0),
+                entries: (0..4)
+                    .map(|i| {
+                        (
+                            fp(i),
+                            ChunkLocation {
+                                container: ContainerId::new(0),
+                                offset: (i * 100) as u32,
+                                len: 100,
+                            },
+                        )
+                    })
+                    .collect(),
+            },
+            JournalRecord::SimilarityPublish {
+                container: ContainerId::new(0),
+                rfps: vec![fp(10), fp(11)],
+            },
+            JournalRecord::ContainerAdopt {
+                origin_node: 3,
+                origin_container: ContainerId::new(9),
+                container: sample_container(1),
+                rfps: vec![fp(20)],
+            },
+            JournalRecord::Tombstone {
+                container: ContainerId::new(0),
+                successor: 2,
+            },
+            JournalRecord::StatsCheckpoint {
+                logical_bytes: 1000,
+                total_chunks: 8,
+                unique_chunks: 8,
+                super_chunks: 2,
+            },
+            JournalRecord::Snapshot(NodeSnapshot {
+                next_container_id: 2,
+                containers: vec![
+                    (None, sample_container(0)),
+                    (Some((3, ContainerId::new(9))), sample_container(1)),
+                ],
+                chunk_entries: vec![(
+                    fp(1),
+                    ChunkLocation {
+                        container: ContainerId::new(0),
+                        offset: 0,
+                        len: 100,
+                    },
+                )],
+                similarity: vec![(fp(10), ContainerId::new(0))],
+                tombstones: vec![(ContainerId::new(5), 1)],
+                logical_bytes: 1000,
+                total_chunks: 8,
+                unique_chunks: 8,
+                super_chunks: 2,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let journal = Journal::new();
+        let records = sample_records();
+        for record in &records {
+            journal.append(record).unwrap();
+        }
+        let (replayed, summary) = Journal::replay(&journal.bytes());
+        assert_eq!(replayed, records);
+        assert_eq!(summary.frames, records.len() as u64);
+        assert_eq!(summary.bytes_discarded, 0);
+        assert_eq!(journal.frame_count(), records.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_every_cut() {
+        let journal = Journal::new();
+        let records = sample_records();
+        for record in &records {
+            journal.append(record).unwrap();
+        }
+        let bytes = journal.bytes();
+        let boundaries = journal.frame_boundaries();
+        // Cutting anywhere strictly inside frame k+1 must replay exactly k+... the
+        // frames whose end precedes the cut, never a partial record.
+        for cut in [
+            1usize,
+            boundaries[0] - 1,
+            boundaries[0] + 1,
+            bytes.len() - 1,
+        ] {
+            let (replayed, summary) = Journal::replay(&bytes[..cut]);
+            let expect = boundaries.iter().filter(|&&end| end <= cut).count();
+            assert_eq!(replayed.len(), expect, "cut at {}", cut);
+            assert_eq!(replayed.as_slice(), &records[..expect]);
+            assert!(summary.bytes_discarded > 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay() {
+        let journal = Journal::new();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        let mut bytes = journal.bytes();
+        let boundaries = journal.frame_boundaries();
+        // Flip one payload byte in the third frame: frames 0-1 replay, the rest
+        // is reported as a corrupt/discarded tail.
+        bytes[boundaries[1] + FRAME_HEADER + 2] ^= 0xFF;
+        let (replayed, summary) = Journal::replay(&bytes);
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(
+            summary.bytes_discarded as usize,
+            bytes.len() - boundaries[1]
+        );
+    }
+
+    #[test]
+    fn armed_clean_crash_persists_nothing_and_poisons_appends() {
+        let journal = Journal::new();
+        journal.append(&sample_records()[5]).unwrap();
+        journal.arm_crash_at_seq(1, CrashMode::Clean);
+        let before = journal.len_bytes();
+        assert_eq!(
+            journal.append(&sample_records()[5]),
+            Err(StorageError::Crashed)
+        );
+        assert!(journal.crashed());
+        assert_eq!(journal.len_bytes(), before, "clean crash writes nothing");
+        // Everything after the crash fails too.
+        assert_eq!(
+            journal.append(&sample_records()[5]),
+            Err(StorageError::Crashed)
+        );
+        // Recovery truncates (no-op here) and clears the crash.
+        let (records, summary) = journal.recover_truncating();
+        assert_eq!(records.len(), 1);
+        assert_eq!(summary.bytes_discarded, 0);
+        assert!(!journal.crashed());
+        assert_eq!(journal.next_seq(), 1);
+        journal.append(&sample_records()[5]).unwrap();
+    }
+
+    #[test]
+    fn armed_torn_crash_leaves_a_discardable_tail() {
+        let journal = Journal::new();
+        journal.append(&sample_records()[0]).unwrap();
+        let clean_len = journal.len_bytes();
+        journal.arm_crash_at_seq(1, CrashMode::Torn);
+        assert_eq!(
+            journal.append(&sample_records()[0]),
+            Err(StorageError::Crashed)
+        );
+        assert!(journal.len_bytes() > clean_len, "torn prefix persisted");
+        let (records, summary) = journal.recover_truncating();
+        assert_eq!(records.len(), 1, "torn frame discarded");
+        assert!(summary.bytes_discarded > 0);
+        assert_eq!(journal.len_bytes(), clean_len, "tail truncated for reuse");
+    }
+
+    #[test]
+    fn compaction_folds_the_log_and_keeps_sequencing() {
+        let journal = Journal::new();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        let long = journal.len_bytes();
+        let seq_before = journal.next_seq();
+        journal
+            .compact(NodeSnapshot {
+                next_container_id: 7,
+                ..NodeSnapshot::default()
+            })
+            .unwrap();
+        assert!(journal.len_bytes() < long, "snapshot replaces the log");
+        assert_eq!(journal.frame_count(), 1);
+        assert_eq!(
+            journal.next_seq(),
+            seq_before + 1,
+            "sequence keeps counting"
+        );
+        let (records, _) = Journal::replay(&journal.bytes());
+        assert!(matches!(records[0], JournalRecord::Snapshot(_)));
+    }
+
+    #[test]
+    fn from_bytes_restores_boundaries_and_sequencing() {
+        let journal = Journal::new();
+        for record in sample_records().into_iter().take(3) {
+            journal.append(&record).unwrap();
+        }
+        let reloaded = Journal::from_bytes(journal.bytes());
+        assert_eq!(reloaded.frame_count(), 3);
+        assert_eq!(reloaded.next_seq(), journal.next_seq());
+        assert_eq!(reloaded.bytes(), journal.bytes());
+    }
+
+    #[test]
+    fn appends_charge_the_disk_model_sequentially() {
+        let disk = Arc::new(DiskModel::new(crate::DiskParams::default()));
+        let journal = Journal::with_disk(disk.clone());
+        journal.append(&sample_records()[5]).unwrap();
+        let stats = disk.stats();
+        assert_eq!(stats.sequential_ops, 1);
+        assert_eq!(stats.sequential_bytes as usize, journal.len_bytes());
+        assert_eq!(stats.random_reads, 0, "a WAL never seeks");
+    }
+}

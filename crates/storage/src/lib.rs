@@ -27,6 +27,7 @@ mod container_store;
 mod disk;
 mod error;
 mod fingerprint_cache;
+mod journal;
 mod similarity_index;
 
 pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome};
@@ -37,6 +38,7 @@ pub use container_store::{
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use error::StorageError;
 pub use fingerprint_cache::{CacheStats, FingerprintCache};
+pub use journal::{CrashMode, Journal, JournalRecord, NodeSnapshot, ReplaySummary};
 pub use similarity_index::{SimilarityIndex, SimilarityIndexStats};
 
 /// Convenient result alias for storage operations.

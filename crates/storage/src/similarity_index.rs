@@ -155,6 +155,32 @@ impl SimilarityIndex {
         out
     }
 
+    /// Returns every representative fingerprint currently mapped to `container`,
+    /// sorted ascending, *without* removing anything.
+    ///
+    /// The read-only half of a container migration: the destination needs the
+    /// RFPs before it durably adopts the container, but the source must keep
+    /// them until the adoption is known to have succeeded — otherwise a crashed
+    /// destination would silently discard the container's similarity state.
+    pub fn peek_container(&self, container: ContainerId) -> Vec<Fingerprint> {
+        let candidates = self
+            .by_container
+            .read()
+            .get(&container)
+            .cloned()
+            .unwrap_or_default();
+        let mut out = Vec::with_capacity(candidates.len());
+        for rfp in candidates {
+            let stripe = self.stripe_of(&rfp);
+            if self.stripes[stripe].read().get(&rfp) == Some(&container) {
+                out.push(rfp);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Removes and returns every representative fingerprint mapped to `container`,
     /// sorted ascending.
     ///
@@ -183,6 +209,19 @@ impl SimilarityIndex {
         extracted.sort_unstable();
         extracted.dedup();
         extracted
+    }
+
+    /// Every entry as `(representative fingerprint, container)` pairs, sorted by
+    /// fingerprint — the similarity-index half of a compaction snapshot.
+    pub fn entries(&self) -> Vec<(Fingerprint, ContainerId)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            for (fp, cid) in stripe.read().iter() {
+                out.push((*fp, *cid));
+            }
+        }
+        out.sort_unstable_by_key(|(fp, _)| *fp);
+        out
     }
 
     /// Current number of entries across all stripes.

@@ -88,10 +88,10 @@ proptest! {
 
         // Drain node 0 one container at a time, restoring everything in between.
         let mut rebalancer = cluster.begin_remove_node(0).expect("3-node cluster");
-        while rebalancer.step().is_some() {
+        while rebalancer.step().expect("no faults in this test").is_some() {
             assert_all_restore(&cluster, &files);
         }
-        let report = rebalancer.run();
+        let report = rebalancer.run().expect("no faults in this test");
         prop_assert_eq!(
             cluster.node_by_id(0).expect("retired node stays addressable").storage_usage(),
             0,
