@@ -1,0 +1,134 @@
+//! Garbage-collection reclaim throughput vs. the liveness threshold.
+//!
+//! Not a figure of the paper — its clusters are append-only — but the metric
+//! that gates a retention policy once backups expire: how fast a mark-and-sweep
+//! turns dead generations back into free space, and how the
+//! [`SigmaConfig::gc_liveness_threshold`] knob trades reclaimed bytes against
+//! compaction (rewrite) I/O.
+//!
+//! The banner prints a one-shot table sweeping the threshold over the
+//! `retention_churn` scenario (reclaimed MiB, reclaim MB/s, drop/compact mix);
+//! criterion then measures the full delete + mark-and-sweep cycle at a low and
+//! a high threshold on a mid-size workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sigma_core::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_workloads::payload::{generational_payloads, GenerationalPayloadParams};
+use std::sync::Arc;
+
+fn bench_sigma(threshold: f64) -> SigmaConfig {
+    SigmaConfig::builder()
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024)
+        .gc_liveness_threshold(threshold)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Builds a cluster holding `generations` generational waves from `streams`
+/// streams and expires the oldest `expire` of them (deletion only — the sweep
+/// is what gets measured).
+fn expired_cluster(
+    threshold: f64,
+    streams: u64,
+    generations: usize,
+    expire: u64,
+    bytes_per_stream: usize,
+) -> Arc<DedupCluster> {
+    let cluster = Arc::new(DedupCluster::with_similarity_router(
+        4,
+        bench_sigma(threshold),
+    ));
+    for (stream, dataset) in (0..streams)
+        .map(|s| {
+            generational_payloads(GenerationalPayloadParams {
+                seed: 0x6C_0DE ^ s,
+                generations,
+                initial_size: bytes_per_stream,
+                mutation_rate: 0.2,
+                growth_per_generation: bytes_per_stream / 16,
+            })
+        })
+        .enumerate()
+    {
+        for (generation, (name, data)) in dataset.iter().enumerate() {
+            let client =
+                BackupClient::with_generation(cluster.clone(), stream as u64, generation as u64);
+            client
+                .backup_bytes(name, data)
+                .expect("payload backup cannot fail");
+        }
+    }
+    cluster.flush();
+    for generation in 0..expire {
+        cluster
+            .delete_generation(generation)
+            .expect("generation exists");
+    }
+    cluster
+}
+
+fn report() {
+    sigma_bench::banner(
+        "gc compaction",
+        "mark-and-sweep reclaim vs. the container liveness threshold",
+    );
+    let mut table = sigma_metrics::report::TextTable::new(vec![
+        "threshold",
+        "physical MiB",
+        "reclaimed MiB",
+        "dropped",
+        "compacted",
+        "kept partial",
+        "reclaim MB/s",
+    ]);
+    for threshold in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let cluster = expired_cluster(threshold, 4, 4, 2, 4 << 20);
+        let physical_before = cluster.stats().physical_bytes;
+        let sw = sigma_metrics::Stopwatch::start();
+        let gc = cluster.collect_garbage().expect("no faults in bench");
+        let tp = sw.stop(gc.bytes_reclaimed);
+        table.add_row(vec![
+            format!("{:.2}", threshold),
+            format!("{:.1}", physical_before as f64 / (1 << 20) as f64),
+            format!("{:.1}", gc.bytes_reclaimed as f64 / (1 << 20) as f64),
+            gc.containers_dropped.to_string(),
+            gc.containers_compacted.to_string(),
+            gc.containers_kept_partial.to_string(),
+            format!("{:.1}", tp.mb_per_sec()),
+        ]);
+    }
+    sigma_bench::print_table(
+        "reclaim vs. liveness threshold (4 streams x 4 generations, oldest 2 expired)",
+        &table.render(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let mut group = c.benchmark_group("gc_compaction");
+    group.sample_size(10);
+    for (label, threshold) in [("drop_only", 0.0), ("compact_aggressive", 1.0)] {
+        // Measure the full delete + mark + sweep cycle; the cluster is rebuilt
+        // per iteration because a sweep is destructive.
+        let reclaimable = {
+            let cluster = expired_cluster(threshold, 2, 3, 1, 1 << 20);
+            cluster
+                .collect_garbage()
+                .expect("no faults")
+                .bytes_reclaimed
+        };
+        group.throughput(Throughput::Bytes(reclaimable.max(1)));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cluster = expired_cluster(threshold, 2, 3, 1, 1 << 20);
+                cluster.collect_garbage().expect("no faults in bench")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

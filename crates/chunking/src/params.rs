@@ -131,16 +131,21 @@ impl ChunkerParams {
         }
     }
 
-    /// Checks the parameters without building a chunker.
+    /// Checks the parameters without building a chunker: every size must be
+    /// non-zero and CDC sizes must satisfy `min ≤ avg ≤ max`.
+    ///
+    /// Called by `SigmaConfig::build`, so an inconsistent chunker is rejected at
+    /// configuration time with a field-naming error (mirroring
+    /// `DiskParams::validate`) rather than panicking mid-backup.
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated constraint.
+    /// Returns a description naming the offending field and value.
     pub fn validate(&self) -> Result<(), String> {
         match self {
             ChunkerParams::Fixed { chunk_size } => {
                 if *chunk_size == 0 {
-                    Err("chunk size must be non-zero".to_string())
+                    Err("chunker chunk_size = 0 must be non-zero".to_string())
                 } else {
                     Ok(())
                 }
@@ -150,13 +155,28 @@ impl ChunkerParams {
                 avg_size,
                 max_size,
             } => {
-                if *min_size == 0 {
-                    Err("minimum chunk size must be non-zero".to_string())
-                } else if !(min_size <= avg_size && avg_size <= max_size) {
-                    Err("chunk sizes must satisfy min <= avg <= max".to_string())
-                } else {
-                    Ok(())
+                for (field, value) in [
+                    ("min_size", *min_size),
+                    ("avg_size", *avg_size),
+                    ("max_size", *max_size),
+                ] {
+                    if value == 0 {
+                        return Err(format!("chunker {} = 0 must be non-zero", field));
+                    }
                 }
+                if min_size > avg_size {
+                    return Err(format!(
+                        "chunker min_size = {} exceeds avg_size = {} (need min ≤ avg ≤ max)",
+                        min_size, avg_size
+                    ));
+                }
+                if avg_size > max_size {
+                    return Err(format!(
+                        "chunker avg_size = {} exceeds max_size = {} (need min ≤ avg ≤ max)",
+                        avg_size, max_size
+                    ));
+                }
+                Ok(())
             }
             ChunkerParams::Tttd(p) => p.validate(),
         }
@@ -204,6 +224,34 @@ mod tests {
         assert!(ChunkerParams::cdc(30, 10, 20).validate().is_err());
         assert!(ChunkerParams::cdc(5, 10, 20).validate().is_ok());
         assert!(ChunkerParams::tttd_default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field_and_value() {
+        let err = ChunkerParams::fixed(0).validate().unwrap_err();
+        assert!(err.contains("chunk_size"), "got: {}", err);
+        for (params, field) in [
+            (ChunkerParams::cdc(0, 10, 20), "min_size"),
+            (ChunkerParams::cdc(1, 0, 20), "avg_size"),
+            (ChunkerParams::cdc(1, 10, 0), "max_size"),
+            (ChunkerParams::cdc(11, 10, 20), "min_size = 11"),
+            (ChunkerParams::cdc(1, 21, 20), "avg_size = 21"),
+        ] {
+            let err = params.validate().unwrap_err();
+            assert!(err.contains(field), "expected {:?} in: {}", field, err);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_ordering_boundaries() {
+        // min == avg == max is the degenerate-but-legal boundary.
+        assert!(ChunkerParams::cdc(10, 10, 10).validate().is_ok());
+        assert!(ChunkerParams::cdc(10, 10, 20).validate().is_ok());
+        assert!(ChunkerParams::cdc(5, 20, 20).validate().is_ok());
+        assert!(ChunkerParams::cdc(1, 1, usize::MAX).validate().is_ok());
+        // One past each boundary fails.
+        assert!(ChunkerParams::cdc(11, 10, 10).validate().is_err());
+        assert!(ChunkerParams::cdc(10, 11, 10).validate().is_err());
     }
 
     #[test]

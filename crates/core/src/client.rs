@@ -74,11 +74,23 @@ impl std::fmt::Debug for BackupClient {
 
 impl BackupClient {
     /// Creates a client using `stream_id` as its data-stream identifier and opens a
-    /// backup session for it.
+    /// backup session for it (in generation 0).
     pub fn new(cluster: Arc<DedupCluster>, stream_id: u64) -> Self {
+        BackupClient::with_generation(cluster, stream_id, 0)
+    }
+
+    /// Creates a client whose backup session is tagged with a backup generation.
+    ///
+    /// Generations are the retention unit: a nightly backup wave creates its
+    /// clients in the next generation, and
+    /// [`DedupCluster::delete_generation`](crate::DedupCluster::delete_generation)
+    /// expires a whole wave at once — the chunks only that generation referenced
+    /// are reclaimed by the next
+    /// [`DedupCluster::collect_garbage`](crate::DedupCluster::collect_garbage).
+    pub fn with_generation(cluster: Arc<DedupCluster>, stream_id: u64, generation: u64) -> Self {
         let session_id = cluster
             .director()
-            .open_session(&format!("client-{}", stream_id));
+            .open_session_in_generation(&format!("client-{}", stream_id), generation);
         BackupClient {
             cluster,
             stream_id,

@@ -12,14 +12,16 @@
 //! any sequence of joins, leaves and migrations.
 
 use crate::membership::{NodeMap, PlannedMove, RebalanceReport, Rebalancer};
-use crate::node::RecoveryReport;
+use crate::node::{NodeGcReport, RecoveryReport};
 use crate::{
-    DataRouter, DedupNode, Director, FileId, Handprint, NodeStats, Result, RoutingContext,
-    SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkReceipt,
+    DataRouter, DedupNode, Director, FileId, FileRecipe, Handprint, NodeStats, Result,
+    RoutingContext, SigmaConfig, SigmaError, SimilarityRouter, SuperChunk, SuperChunkReceipt,
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use sigma_hashkit::Fingerprint;
+use sigma_storage::ContainerId;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -75,6 +77,32 @@ impl ClusterStats {
     pub fn effective_dedup_ratio(&self) -> f64 {
         self.dedup_ratio / (1.0 + self.usage_skew)
     }
+}
+
+/// What one cluster-wide garbage collection marked and reclaimed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Surviving recipes the mark phase walked (the root set).
+    pub recipes_marked: u64,
+    /// Distinct live chunks marked across the cluster.
+    pub live_chunks: u64,
+    /// Bytes of distinct live chunks — physical bytes can never be swept below
+    /// this figure.
+    pub live_bytes: u64,
+    /// Sealed containers the sweep examined.
+    pub containers_scanned: u64,
+    /// Containers dropped outright (no live chunks).
+    pub containers_dropped: u64,
+    /// Containers compacted (live chunks rewritten into fresh containers).
+    pub containers_compacted: u64,
+    /// Containers kept despite dead bytes (liveness at or above the threshold).
+    pub containers_kept_partial: u64,
+    /// Dead chunks discarded.
+    pub chunks_discarded: u64,
+    /// Physical bytes reclaimed cluster-wide.
+    pub bytes_reclaimed: u64,
+    /// Per-node sweep reports, sorted by stable node ID.
+    pub nodes: Vec<NodeGcReport>,
 }
 
 /// Receipts for one stream's batch: one `(receipt, target node)` pair per
@@ -449,6 +477,181 @@ impl DedupCluster {
         Ok(out)
     }
 
+    // ---- Backup lifecycle & garbage collection ----
+
+    /// Deletes one backed-up file: its recipe leaves the root set, so chunks no
+    /// surviving recipe references become garbage for the next
+    /// [`collect_garbage`](Self::collect_garbage) sweep.  Returns the logical
+    /// bytes the deletion released (which also leave the cluster's
+    /// `logical_bytes` accounting — deleted data no longer flatters the
+    /// deduplication ratio).
+    ///
+    /// A `RecipeDelete` audit record is journaled, best-effort, on every
+    /// durable node the recipe named, giving crash recovery a boundary between
+    /// the deletion and the sweep that follows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::FileNotFound`] for unknown — including
+    /// already-deleted — file IDs.
+    pub fn delete_file(&self, file_id: FileId) -> Result<u64> {
+        let recipe = self
+            .director
+            .delete_file(file_id)
+            .ok_or(SigmaError::FileNotFound(file_id))?;
+        Ok(self.account_deleted(std::slice::from_ref(&recipe)))
+    }
+
+    /// Deletes a whole backup (a session and every file registered in it).
+    /// Returns the logical bytes released.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::BackupNotFound`] for unknown — including
+    /// already-deleted — session IDs.
+    pub fn delete_backup(&self, session_id: u64) -> Result<u64> {
+        let recipes = self
+            .director
+            .delete_backup(session_id)
+            .ok_or(SigmaError::BackupNotFound(session_id))?;
+        Ok(self.account_deleted(&recipes))
+    }
+
+    /// Expires a whole backup generation: every session opened in it (see
+    /// [`BackupClient::with_generation`](crate::BackupClient::with_generation))
+    /// and every file those sessions registered.  Returns the logical bytes
+    /// released — `Ok(0)` when the generation has no sessions, so a retention
+    /// loop can expire idempotently.
+    pub fn delete_generation(&self, generation: u64) -> Result<u64> {
+        let recipes = self.director.delete_generation(generation);
+        Ok(self.account_deleted(&recipes))
+    }
+
+    /// Books the deletion of `recipes`: subtracts their logical bytes from the
+    /// cluster accounting and journals a `RecipeDelete` audit record on every
+    /// durable node each recipe named.
+    fn account_deleted(&self, recipes: &[Arc<FileRecipe>]) -> u64 {
+        let mut freed = 0u64;
+        for recipe in recipes {
+            freed += recipe.size;
+            let nodes: BTreeSet<usize> = recipe.chunks.iter().map(|e| e.node).collect();
+            for node_id in nodes {
+                if let Some(node) = self.node_by_id(node_id) {
+                    node.note_recipe_deleted(recipe.file_id);
+                }
+            }
+        }
+        // Saturating: trace-driven ingest routes logical bytes that never get a
+        // recipe, so the counter can only over-cover the recipes being deleted,
+        // but a wrap on some future accounting drift must stay impossible.
+        let _ = self
+            .logical_bytes_routed
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(freed))
+            });
+        freed
+    }
+
+    /// Reclaims the space of deleted backups: a cluster-wide mark-and-sweep.
+    ///
+    /// **Mark** walks every surviving recipe (the root set) and resolves each
+    /// chunk to the node and container that actually holds it *now* — routing
+    /// through the node directory and following forwarding tombstones, so a
+    /// migration in flight cannot hide a live chunk from the mark.  **Sweep**
+    /// then visits every node (active and retired, in stable-ID order):
+    /// containers with no live chunks are dropped, containers whose live
+    /// fraction falls below [`SigmaConfig::gc_liveness_threshold`] are
+    /// compacted (live chunks rewritten into a fresh container before the
+    /// victim drops), and every structural change is journaled write-ahead on
+    /// durable nodes, so recovery replays to a post-GC-consistent state.
+    ///
+    /// A cluster with no recipes and no stored data is a no-op (`GcReport`
+    /// all-zero).  Note that recipes really are the *only* root set: data
+    /// ingested without registering a recipe (trace-driven experiments calling
+    /// [`backup_super_chunk`](Self::backup_super_chunk) directly) is garbage to
+    /// this sweep.
+    ///
+    /// Must run at a GC-quiescent point: restores and migrations may
+    /// interleave, concurrent backups may not (a chunk could be declared a
+    /// duplicate of data the sweep is about to drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node crash (durable clusters under fault
+    /// injection); the sweep stops at a journal-record boundary, and re-running
+    /// `collect_garbage` after [`restart_node`](Self::restart_node) converges —
+    /// completed drops and compactions are simply absent from the next mark.
+    pub fn collect_garbage(&self) -> Result<GcReport> {
+        let mut nodes: Vec<Arc<DedupNode>> =
+            self.membership.read().directory.values().cloned().collect();
+        nodes.sort_by_key(|n| n.id());
+        let by_id: HashMap<usize, Arc<DedupNode>> =
+            nodes.iter().map(|n| (n.id(), n.clone())).collect();
+        let recipes = self.director.recipes();
+
+        // Mark: live chunks per (node, container), deduplicated so shared
+        // chunks are counted once.
+        let mut live: HashMap<usize, HashMap<ContainerId, HashSet<Fingerprint>>> = HashMap::new();
+        let mut report = GcReport {
+            recipes_marked: recipes.len() as u64,
+            ..GcReport::default()
+        };
+        let hop_cap = nodes.len();
+        for recipe in &recipes {
+            for entry in &recipe.chunks {
+                let mut node_id = entry.node;
+                let mut hops = 0usize;
+                while let Some(node) = by_id.get(&node_id) {
+                    let Some(location) = node.chunk_location(&entry.fingerprint) else {
+                        // Unknown to this node's index: the restore path would
+                        // fail here too; there is nothing to keep alive.
+                        break;
+                    };
+                    if node.has_sealed_container(&location.container)
+                        || node.has_open_container(&location.container)
+                    {
+                        let fresh = live
+                            .entry(node_id)
+                            .or_default()
+                            .entry(location.container)
+                            .or_default()
+                            .insert(entry.fingerprint);
+                        if fresh {
+                            report.live_chunks += 1;
+                            report.live_bytes += location.len as u64;
+                        }
+                        break;
+                    }
+                    // The container migrated away: follow the tombstone chain,
+                    // exactly as a restore would.
+                    match node.forwarded_to(&location.container) {
+                        Some(next) if hops < hop_cap => {
+                            hops += 1;
+                            node_id = next;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+
+        // Sweep, node by node in stable-ID order (deterministic journals).
+        let threshold = self.config.gc_liveness_threshold;
+        let empty = HashMap::new();
+        for node in &nodes {
+            let node_live = live.get(&node.id()).unwrap_or(&empty);
+            let swept = node.sweep_garbage(node_live, threshold)?;
+            report.containers_scanned += swept.containers_scanned;
+            report.containers_dropped += swept.containers_dropped;
+            report.containers_compacted += swept.containers_compacted;
+            report.containers_kept_partial += swept.containers_kept_partial;
+            report.chunks_discarded += swept.chunks_discarded;
+            report.bytes_reclaimed += swept.bytes_reclaimed;
+            report.nodes.push(swept);
+        }
+        Ok(report)
+    }
+
     /// Seals all open containers on every node — active *and* retired — marking
     /// the end of a backup session.  Crashed nodes are skipped (their flush is a
     /// no-op); durability-aware callers use [`try_flush`](Self::try_flush).
@@ -818,11 +1021,19 @@ impl DedupCluster {
     /// Per-node figures (`node_usage`, `nodes`, skew) cover the *active* nodes;
     /// `logical_bytes` is the cluster-wide routed total, which survives node
     /// removals (the removed node's data migrated, its history did not vanish).
+    /// `physical_bytes` sums the whole node directory — active nodes *plus*
+    /// retired nodes that still hold containers mid-drain — so it always means
+    /// "bytes the cluster stores", and `collect_garbage` (which sweeps retired
+    /// stragglers too) satisfies `physical_after == physical_before −
+    /// bytes_reclaimed` even with an incremental removal in flight.
     pub fn stats(&self) -> ClusterStats {
         let map = self.node_map();
         let nodes: Vec<NodeStats> = map.nodes().iter().map(|n| n.stats()).collect();
         let logical: u64 = self.logical_bytes_routed.load(Ordering::Relaxed);
-        let physical: u64 = nodes.iter().map(|n| n.physical_bytes).sum();
+        let physical: u64 = {
+            let m = self.membership.read();
+            m.directory.values().map(|n| n.storage_usage()).sum()
+        };
         let usage: Vec<u64> = nodes.iter().map(|n| n.physical_bytes).collect();
         let dedup_ratio = if physical == 0 {
             1.0
@@ -1134,6 +1345,238 @@ mod tests {
         );
         assert_eq!(cluster.stats().physical_bytes, before, "conserved");
         assert_eq!(cluster.restore_file(report.file_id).unwrap(), data);
+    }
+
+    fn lifecycle_config() -> SigmaConfig {
+        SigmaConfig::builder()
+            .super_chunk_size(64 * 1024)
+            .container_capacity(64 * 1024)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn delete_file_then_gc_reclaims_space_and_keeps_survivors() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(3, lifecycle_config()));
+        let keep_client = crate::BackupClient::with_generation(cluster.clone(), 0, 0);
+        let drop_client = crate::BackupClient::with_generation(cluster.clone(), 1, 1);
+        let keep_data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        let drop_data: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
+        let keep = keep_client.backup_bytes("keep.bin", &keep_data).unwrap();
+        let dropped = drop_client.backup_bytes("drop.bin", &drop_data).unwrap();
+        cluster.flush();
+
+        let before = cluster.stats();
+        let freed = cluster.delete_file(dropped.file_id).unwrap();
+        assert_eq!(freed, drop_data.len() as u64);
+        // Deletion alone reclaims nothing; logical accounting already shrank.
+        let mid = cluster.stats();
+        assert_eq!(mid.physical_bytes, before.physical_bytes);
+        assert_eq!(mid.logical_bytes, before.logical_bytes - freed);
+
+        let report = cluster.collect_garbage().unwrap();
+        assert!(report.bytes_reclaimed > 0, "dead generation must shrink");
+        assert!(report.containers_dropped + report.containers_compacted > 0);
+        let after = cluster.stats();
+        assert_eq!(
+            after.physical_bytes,
+            before.physical_bytes - report.bytes_reclaimed
+        );
+        assert!(
+            after.physical_bytes >= report.live_bytes,
+            "never below live"
+        );
+        assert_eq!(cluster.restore_file(keep.file_id).unwrap(), keep_data);
+        assert!(matches!(
+            cluster.restore_file(dropped.file_id),
+            Err(SigmaError::FileNotFound(_))
+        ));
+        for node in cluster.nodes() {
+            node.verify_consistency().unwrap();
+        }
+
+        // GC is idempotent: a second sweep over the same root set is a no-op.
+        let again = cluster.collect_garbage().unwrap();
+        assert_eq!(again.bytes_reclaimed, 0);
+        assert_eq!(cluster.stats().physical_bytes, after.physical_bytes);
+    }
+
+    #[test]
+    fn shared_chunks_survive_the_deletion_of_one_referencing_file() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(2, lifecycle_config()));
+        let client = crate::BackupClient::new(cluster.clone(), 0);
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 239) as u8).collect();
+        let a = client.backup_bytes("gen-a", &data).unwrap();
+        let b = client.backup_bytes("gen-b", &data).unwrap();
+        cluster.flush();
+        let before = cluster.stats().physical_bytes;
+
+        // Both recipes reference the same chunks; deleting one frees nothing.
+        cluster.delete_file(a.file_id).unwrap();
+        let report = cluster.collect_garbage().unwrap();
+        assert_eq!(report.bytes_reclaimed, 0, "shared chunks stay live");
+        assert_eq!(cluster.stats().physical_bytes, before);
+        assert_eq!(cluster.restore_file(b.file_id).unwrap(), data);
+
+        // Deleting the last reference makes them garbage.
+        cluster.delete_file(b.file_id).unwrap();
+        let report = cluster.collect_garbage().unwrap();
+        assert_eq!(report.live_chunks, 0);
+        assert_eq!(cluster.stats().physical_bytes, 0);
+    }
+
+    #[test]
+    fn lifecycle_errors_are_clean() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(2, lifecycle_config()));
+        assert!(matches!(
+            cluster.delete_file(99),
+            Err(SigmaError::FileNotFound(99))
+        ));
+        assert!(matches!(
+            cluster.delete_backup(99),
+            Err(SigmaError::BackupNotFound(99))
+        ));
+        // GC on an empty cluster is a no-op.
+        let report = cluster.collect_garbage().unwrap();
+        assert_eq!(report.recipes_marked, 0);
+        assert_eq!(report.containers_scanned, 0);
+        assert_eq!(report.bytes_reclaimed, 0);
+        assert_eq!(
+            report.nodes.len(),
+            2,
+            "every node is swept, finding nothing"
+        );
+        // Expiring a generation nobody opened is an idempotent no-op.
+        assert_eq!(cluster.delete_generation(7).unwrap(), 0);
+
+        let client = crate::BackupClient::new(cluster.clone(), 0);
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 233) as u8).collect();
+        let report = client.backup_bytes("once.bin", &data).unwrap();
+        cluster.flush();
+        cluster.delete_file(report.file_id).unwrap();
+        // Double delete and delete-then-restore are errors, not panics.
+        assert!(matches!(
+            cluster.delete_file(report.file_id),
+            Err(SigmaError::FileNotFound(_))
+        ));
+        assert!(matches!(
+            cluster.restore_file(report.file_id),
+            Err(SigmaError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn delete_backup_expires_a_whole_session() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(2, lifecycle_config()));
+        let client = crate::BackupClient::new(cluster.clone(), 0);
+        let data_a: Vec<u8> = (0..150_000u32).map(|i| (i % 229) as u8).collect();
+        let data_b: Vec<u8> = (0..150_000u32).map(|i| (i % 227) as u8).collect();
+        let a = client.backup_bytes("a.bin", &data_a).unwrap();
+        let b = client.backup_bytes("b.bin", &data_b).unwrap();
+        cluster.flush();
+        let freed = cluster.delete_backup(client.session_id()).unwrap();
+        assert_eq!(freed, (data_a.len() + data_b.len()) as u64);
+        assert!(cluster.restore_file(a.file_id).is_err());
+        assert!(cluster.restore_file(b.file_id).is_err());
+        cluster.collect_garbage().unwrap();
+        assert_eq!(cluster.stats().physical_bytes, 0);
+    }
+
+    #[test]
+    fn gc_marks_through_forwarding_tombstones_mid_rebalance() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(3, lifecycle_config()));
+        let keep_client = crate::BackupClient::new(cluster.clone(), 0);
+        let drop_client = crate::BackupClient::new(cluster.clone(), 1);
+        let keep_data: Vec<u8> = (0..250_000u32).map(|i| (i % 223) as u8).collect();
+        let drop_data: Vec<u8> = (0..250_000u32).map(|i| (i % 219) as u8).collect();
+        let keep = keep_client.backup_bytes("keep.bin", &keep_data).unwrap();
+        let dropped = drop_client.backup_bytes("drop.bin", &drop_data).unwrap();
+        cluster.flush();
+
+        // Migrate everything off node 0, then GC: live chunks whose recipes
+        // still name node 0 must be marked *through* the tombstones at their
+        // new home, not collected as unreferenced.
+        cluster.remove_node(0).unwrap();
+        cluster.delete_file(dropped.file_id).unwrap();
+        let report = cluster.collect_garbage().unwrap();
+        assert!(report.live_chunks > 0);
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(cluster.restore_file(keep.file_id).unwrap(), keep_data);
+        assert!(cluster.stats().physical_bytes >= report.live_bytes);
+        for id in 0..3 {
+            cluster
+                .node_by_id(id)
+                .unwrap()
+                .verify_consistency()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_mid_drain_keeps_the_reclaimed_bytes_equation() {
+        // A partially executed removal leaves sealed containers on a retired
+        // node.  `physical_bytes` must still count them (they are bytes the
+        // cluster stores), and a GC that sweeps the retired straggler must
+        // satisfy physical_after == physical_before - bytes_reclaimed.
+        let cluster = Arc::new(DedupCluster::with_similarity_router(3, lifecycle_config()));
+        let keep_client = crate::BackupClient::new(cluster.clone(), 0);
+        let drop_client = crate::BackupClient::new(cluster.clone(), 1);
+        let keep_data: Vec<u8> = (0..250_000u32).map(|i| (i % 211) as u8).collect();
+        let drop_data: Vec<u8> = (0..250_000u32).map(|i| (i % 199) as u8).collect();
+        let keep = keep_client.backup_bytes("keep.bin", &keep_data).unwrap();
+        let dropped = drop_client.backup_bytes("drop.bin", &drop_data).unwrap();
+        cluster.flush();
+        let before = cluster.stats().physical_bytes;
+
+        // Retire node 0 but execute only one migration step: the rest of its
+        // containers stay on the retired node as stragglers.
+        let mut rebalancer = cluster.begin_remove_node(0).unwrap();
+        rebalancer.step().unwrap();
+        assert_eq!(
+            cluster.stats().physical_bytes,
+            before,
+            "mid-drain bytes on the retired node still count"
+        );
+
+        cluster.delete_file(dropped.file_id).unwrap();
+        let report = cluster.collect_garbage().unwrap();
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(
+            cluster.stats().physical_bytes,
+            before - report.bytes_reclaimed,
+            "reclaimed bytes account exactly, retired stragglers included"
+        );
+        assert_eq!(cluster.restore_file(keep.file_id).unwrap(), keep_data);
+
+        // Finishing the drain afterwards is untroubled by the GC (collected
+        // containers simply vanished from the plan) and conserves bytes.
+        let after_gc = cluster.stats().physical_bytes;
+        rebalancer.run().unwrap();
+        assert_eq!(cluster.node_by_id(0).unwrap().storage_usage(), 0);
+        assert_eq!(cluster.stats().physical_bytes, after_gc);
+        assert_eq!(cluster.restore_file(keep.file_id).unwrap(), keep_data);
+    }
+
+    #[test]
+    fn cluster_delete_preserves_straggler_generation_for_live_clients() {
+        // Cluster-level version of the director regression: expire a
+        // generation while its client object is still alive, have the client
+        // write again, and verify the straggler is still governed by its
+        // original generation's retention.
+        let cluster = Arc::new(DedupCluster::with_similarity_router(2, lifecycle_config()));
+        let client = crate::BackupClient::with_generation(cluster.clone(), 0, 3);
+        let data: Vec<u8> = (0..120_000u32).map(|i| (i % 193) as u8).collect();
+        client.backup_bytes("wave.bin", &data).unwrap();
+        cluster.flush();
+        cluster.delete_generation(3).unwrap();
+
+        let straggler = client.backup_bytes("late.bin", &data).unwrap();
+        cluster.flush();
+        let freed = cluster.delete_generation(3).unwrap();
+        assert_eq!(freed, data.len() as u64, "straggler expires with gen 3");
+        assert!(cluster.restore_file(straggler.file_id).is_err());
+        cluster.collect_garbage().unwrap();
+        assert_eq!(cluster.stats().physical_bytes, 0);
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct SigmaConfig {
     /// zero/negative/non-finite value cannot poison simulated latencies with
     /// inf/NaN.  Default: [`DiskParams::default`] (the paper's testbed HDD).
     pub disk_params: DiskParams,
+    /// Garbage-collection liveness threshold in `[0, 1]`: during a sweep, a
+    /// sealed container whose live fraction (bytes referenced by surviving
+    /// recipes / total bytes) falls *below* this value is compacted — its live
+    /// chunks rewritten into a fresh container before the old one drops.
+    /// Containers with no live chunks are always dropped outright; `0.0`
+    /// disables compaction (drop-only GC), `1.0` compacts any container with a
+    /// single dead byte.  Default: `0.5`.
+    pub gc_liveness_threshold: f64,
 }
 
 impl Default for SigmaConfig {
@@ -92,6 +100,7 @@ impl Default for SigmaConfig {
             parallelism: 1,
             durability: false,
             disk_params: DiskParams::default(),
+            gc_liveness_threshold: 0.5,
         }
     }
 }
@@ -173,6 +182,14 @@ impl SigmaConfig {
                 "average chunk size {} exceeds container capacity {}",
                 self.chunker.average_chunk_size(),
                 self.container_capacity
+            )));
+        }
+        if !self.gc_liveness_threshold.is_finite()
+            || !(0.0..=1.0).contains(&self.gc_liveness_threshold)
+        {
+            return Err(SigmaError::InvalidConfig(format!(
+                "gc_liveness_threshold = {} must be a finite fraction in [0, 1]",
+                self.gc_liveness_threshold
             )));
         }
         self.chunker.validate().map_err(SigmaError::InvalidConfig)?;
@@ -268,6 +285,14 @@ impl SigmaConfigBuilder {
     /// Sets the simulated-disk parameters (validated by [`build`](Self::build)).
     pub fn disk_params(mut self, params: DiskParams) -> Self {
         self.config.disk_params = params;
+        self
+    }
+
+    /// Sets the GC liveness threshold (fraction in `[0, 1]`; validated by
+    /// [`build`](Self::build)).  Containers whose live fraction falls below it
+    /// are compacted during a sweep.
+    pub fn gc_liveness_threshold(mut self, threshold: f64) -> Self {
+        self.config.gc_liveness_threshold = threshold;
         self
     }
 
@@ -401,6 +426,58 @@ mod tests {
             .unwrap();
         assert_eq!(fast.disk_params.random_io_us, 100.0);
         assert!(!SigmaConfig::default().durability, "journaling is opt-in");
+    }
+
+    #[test]
+    fn chunker_orderings_are_validated_at_build_time() {
+        use sigma_chunking::ChunkerParams;
+        // Zero sizes and broken min ≤ avg ≤ max orderings are rejected with an
+        // InvalidConfig naming the offending field, mirroring DiskParams.
+        for (bad, field) in [
+            (ChunkerParams::fixed(0), "chunk_size"),
+            (ChunkerParams::cdc(0, 4096, 16384), "min_size"),
+            (ChunkerParams::cdc(1024, 0, 16384), "avg_size"),
+            (ChunkerParams::cdc(1024, 4096, 0), "max_size"),
+            (ChunkerParams::cdc(8192, 4096, 16384), "min_size"),
+            (ChunkerParams::cdc(1024, 32768, 16384), "avg_size"),
+        ] {
+            let err = SigmaConfig::builder().chunker(bad).build().unwrap_err();
+            assert!(
+                matches!(&err, SigmaError::InvalidConfig(msg) if msg.contains(field)),
+                "expected InvalidConfig naming {}, got {:?}",
+                field,
+                err
+            );
+        }
+        // Boundary values are legal: min == avg == max.
+        assert!(SigmaConfig::builder()
+            .chunker(ChunkerParams::cdc(4096, 4096, 4096))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn gc_liveness_threshold_is_validated_at_build_time() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = SigmaConfig::builder()
+                .gc_liveness_threshold(bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(&err, SigmaError::InvalidConfig(msg) if msg.contains("gc_liveness_threshold")),
+                "expected InvalidConfig naming the field, got {:?}",
+                err
+            );
+        }
+        // The boundary values themselves are legal.
+        for ok in [0.0, 0.5, 1.0] {
+            let c = SigmaConfig::builder()
+                .gc_liveness_threshold(ok)
+                .build()
+                .unwrap();
+            assert_eq!(c.gc_liveness_threshold, ok);
+        }
+        assert_eq!(SigmaConfig::default().gc_liveness_threshold, 0.5);
     }
 
     #[test]

@@ -1,13 +1,21 @@
-//! The director: backup-session and file-recipe management.
+//! The director: backup-session, generation and file-recipe management.
 //!
 //! The director (Figure 2) is the control-plane component that keeps track of which
-//! files were backed up, in which session, and how to reconstruct them: a *file
-//! recipe* lists, in order, every chunk fingerprint of the file together with its
-//! size and the node that stores it.  No chunk data flows through the director.
+//! files were backed up, in which session and backup *generation*, and how to
+//! reconstruct them: a *file recipe* lists, in order, every chunk fingerprint of the
+//! file together with its size and the node that stores it.  No chunk data flows
+//! through the director.
+//!
+//! Recipes are the cluster's **root set**: a chunk is live exactly as long as some
+//! registered recipe references it.  Deleting a file or a whole backup therefore
+//! only removes metadata here — the space its now-unreferenced chunks occupy is
+//! reclaimed by the next [`DedupCluster::collect_garbage`](crate::DedupCluster::collect_garbage)
+//! sweep.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
+use std::sync::Arc;
 
 /// Identifier of a backed-up file.
 pub type FileId = u64;
@@ -47,14 +55,24 @@ pub struct BackupSession {
     pub client: String,
     /// Files registered in this session.
     pub files: Vec<FileId>,
+    /// The backup generation this session belongs to (0 unless the caller
+    /// groups sessions into generations; see
+    /// [`open_session_in_generation`](Director::open_session_in_generation)).
+    pub generation: u64,
 }
 
 #[derive(Debug, Default)]
 struct DirectorInner {
     next_file_id: FileId,
     next_session_id: u64,
-    recipes: std::collections::HashMap<FileId, FileRecipe>,
+    recipes: std::collections::HashMap<FileId, Arc<FileRecipe>>,
     sessions: std::collections::HashMap<u64, BackupSession>,
+    /// Every session's generation, surviving the session's deletion: a client
+    /// that keeps registering files after its session was expired gets the
+    /// session lazily recreated *in its original generation*, so the next
+    /// expiry of that generation still covers it (instead of the file silently
+    /// re-homing into generation 0 and escaping its retention policy).
+    session_generations: std::collections::HashMap<u64, u64>,
 }
 
 /// The metadata service of the cluster.
@@ -69,6 +87,8 @@ struct DirectorInner {
 /// let file = director.register_file(session, "etc/passwd", 1234, Vec::new());
 /// assert_eq!(director.recipe(file).unwrap().name, "etc/passwd");
 /// assert_eq!(director.session(session).unwrap().files, vec![file]);
+/// director.delete_file(file).unwrap();
+/// assert!(director.recipe(file).is_none());
 /// ```
 #[derive(Debug, Default)]
 pub struct Director {
@@ -81,17 +101,29 @@ impl Director {
         Director::default()
     }
 
-    /// Opens a new backup session for `client`.
+    /// Opens a new backup session for `client` in generation 0.
     pub fn open_session(&self, client: &str) -> u64 {
+        self.open_session_in_generation(client, 0)
+    }
+
+    /// Opens a new backup session for `client`, tagged with a backup generation.
+    ///
+    /// Generations are the retention unit of a protection workload: each nightly
+    /// (weekly, …) backup wave opens its sessions in the next generation, and an
+    /// expiry policy deletes whole generations at once with
+    /// [`delete_generation`](Director::delete_generation).
+    pub fn open_session_in_generation(&self, client: &str, generation: u64) -> u64 {
         let mut inner = self.inner.lock();
         let id = inner.next_session_id;
         inner.next_session_id += 1;
+        inner.session_generations.insert(id, generation);
         inner.sessions.insert(
             id,
             BackupSession {
                 session_id: id,
                 client: client.to_string(),
                 files: Vec::new(),
+                generation,
             },
         );
         id
@@ -113,14 +145,23 @@ impl Director {
         inner.next_file_id += 1;
         inner.recipes.insert(
             file_id,
-            FileRecipe {
+            Arc::new(FileRecipe {
                 file_id,
                 name: name.to_string(),
                 size,
                 chunks,
                 session_id,
-            },
+            }),
         );
+        // Lazy session creation tolerates unknown IDs (trace-driven callers
+        // pass 0) — but a session that *was* opened and has since been deleted
+        // is recreated in its original generation, so a straggling client
+        // cannot smuggle files out of its retention policy.
+        let generation = inner
+            .session_generations
+            .get(&session_id)
+            .copied()
+            .unwrap_or(0);
         inner
             .sessions
             .entry(session_id)
@@ -128,6 +169,7 @@ impl Director {
                 session_id,
                 client: String::new(),
                 files: Vec::new(),
+                generation,
             })
             .files
             .push(file_id);
@@ -135,13 +177,103 @@ impl Director {
     }
 
     /// The recipe of a file, if it exists.
-    pub fn recipe(&self, file_id: FileId) -> Option<FileRecipe> {
+    ///
+    /// Recipes are shared by reference: the returned [`Arc`] aliases the
+    /// director's copy, so restores and the GC mark phase never clone the
+    /// per-chunk vector on their hot paths.
+    pub fn recipe(&self, file_id: FileId) -> Option<Arc<FileRecipe>> {
         self.inner.lock().recipes.get(&file_id).cloned()
+    }
+
+    /// Snapshot of every registered recipe — the GC mark phase's root set.
+    ///
+    /// Sorted by file ID so mark traversals (and the journal records they lead
+    /// to) are deterministic.  Cost is one `Arc` clone per file, never a copy of
+    /// the chunk vectors.
+    pub fn recipes(&self) -> Vec<Arc<FileRecipe>> {
+        let mut out: Vec<Arc<FileRecipe>> = self.inner.lock().recipes.values().cloned().collect();
+        out.sort_unstable_by_key(|r| r.file_id);
+        out
     }
 
     /// A backup session, if it exists.
     pub fn session(&self, session_id: u64) -> Option<BackupSession> {
         self.inner.lock().sessions.get(&session_id).cloned()
+    }
+
+    /// IDs of the sessions opened in `generation`, sorted ascending.
+    pub fn sessions_in_generation(&self, generation: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .inner
+            .lock()
+            .sessions
+            .values()
+            .filter(|s| s.generation == generation)
+            .map(|s| s.session_id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The distinct generations that still have sessions, sorted ascending.
+    pub fn generations(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .inner
+            .lock()
+            .sessions
+            .values()
+            .map(|s| s.generation)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Deletes one file's recipe, removing it from its session's file list.
+    ///
+    /// Returns the deleted recipe (the caller needs it to account the deletion
+    /// and to know which nodes to notify), or `None` for unknown — including
+    /// already-deleted — file IDs.  The file's chunks become garbage only to the
+    /// extent no surviving recipe references them; nothing is reclaimed until
+    /// the next GC sweep.
+    pub fn delete_file(&self, file_id: FileId) -> Option<Arc<FileRecipe>> {
+        let mut inner = self.inner.lock();
+        let recipe = inner.recipes.remove(&file_id)?;
+        if let Some(session) = inner.sessions.get_mut(&recipe.session_id) {
+            session.files.retain(|&f| f != file_id);
+        }
+        Some(recipe)
+    }
+
+    /// Deletes a whole backup: the session and every file registered in it.
+    ///
+    /// Returns the deleted recipes (sorted by file ID), or `None` for unknown
+    /// session IDs.
+    pub fn delete_backup(&self, session_id: u64) -> Option<Vec<Arc<FileRecipe>>> {
+        let mut inner = self.inner.lock();
+        let session = inner.sessions.remove(&session_id)?;
+        let mut recipes: Vec<Arc<FileRecipe>> = session
+            .files
+            .iter()
+            .filter_map(|f| inner.recipes.remove(f))
+            .collect();
+        recipes.sort_unstable_by_key(|r| r.file_id);
+        Some(recipes)
+    }
+
+    /// Deletes every session (and file) of a backup generation — the expiry
+    /// primitive of a retention policy.  Returns the deleted recipes, sorted by
+    /// file ID; an empty vector when the generation has no sessions.
+    pub fn delete_generation(&self, generation: u64) -> Vec<Arc<FileRecipe>> {
+        let sessions = self.sessions_in_generation(generation);
+        let mut out = Vec::new();
+        for session in sessions {
+            if let Some(mut recipes) = self.delete_backup(session) {
+                out.append(&mut recipes);
+            }
+        }
+        out.sort_unstable_by_key(|r| r.file_id);
+        out
     }
 
     /// Number of registered files.
@@ -198,10 +330,23 @@ mod tests {
     }
 
     #[test]
+    fn recipe_access_shares_rather_than_clones() {
+        let d = Director::new();
+        let f = d.register_file(0, "big", 1 << 20, (0..256).map(entry).collect());
+        let a = d.recipe(f).unwrap();
+        let b = d.recipe(f).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "accessors alias one allocation");
+        assert!(Arc::ptr_eq(&a, &d.recipes()[0]));
+    }
+
+    #[test]
     fn unknown_ids_return_none() {
         let d = Director::new();
         assert!(d.recipe(42).is_none());
         assert!(d.session(42).is_none());
+        assert!(d.delete_file(42).is_none());
+        assert!(d.delete_backup(42).is_none());
+        assert!(d.delete_generation(42).is_empty());
     }
 
     #[test]
@@ -209,6 +354,7 @@ mod tests {
         let d = Director::new();
         let f = d.register_file(99, "orphan", 1, Vec::new());
         assert_eq!(d.session(99).unwrap().files, vec![f]);
+        assert_eq!(d.session(99).unwrap().generation, 0);
     }
 
     #[test]
@@ -221,5 +367,87 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn delete_file_removes_recipe_and_session_entry() {
+        let d = Director::new();
+        let s = d.open_session("alpha");
+        let f1 = d.register_file(s, "a", 100, vec![entry(1)]);
+        let f2 = d.register_file(s, "b", 200, vec![entry(2)]);
+        let deleted = d.delete_file(f1).unwrap();
+        assert_eq!(deleted.size, 100);
+        assert!(d.recipe(f1).is_none());
+        assert_eq!(d.session(s).unwrap().files, vec![f2]);
+        assert_eq!(d.total_logical_bytes(), 200);
+        // Double delete reports not-found rather than panicking.
+        assert!(d.delete_file(f1).is_none());
+        // File IDs are never reused after a deletion.
+        let f3 = d.register_file(s, "c", 1, Vec::new());
+        assert!(f3 > f2);
+    }
+
+    #[test]
+    fn delete_backup_removes_the_whole_session() {
+        let d = Director::new();
+        let s1 = d.open_session("alpha");
+        let s2 = d.open_session("beta");
+        let f1 = d.register_file(s1, "a", 100, vec![entry(1)]);
+        let f2 = d.register_file(s1, "b", 200, vec![entry(2)]);
+        let f3 = d.register_file(s2, "c", 300, vec![entry(3)]);
+        let deleted = d.delete_backup(s1).unwrap();
+        assert_eq!(
+            deleted.iter().map(|r| r.file_id).collect::<Vec<_>>(),
+            vec![f1, f2]
+        );
+        assert!(d.session(s1).is_none());
+        assert!(d.recipe(f1).is_none());
+        assert!(d.recipe(f2).is_none());
+        assert_eq!(d.recipe(f3).unwrap().size, 300);
+        assert_eq!(d.session_count(), 1);
+        assert!(d.delete_backup(s1).is_none(), "double delete is not-found");
+    }
+
+    #[test]
+    fn straggler_files_after_expiry_stay_in_their_generation() {
+        // A client keeps writing after its session was expired: the lazily
+        // recreated session must come back in the *original* generation, so
+        // the next expiry of that generation still covers the straggler.
+        let d = Director::new();
+        let s = d.open_session_in_generation("nightly", 5);
+        d.register_file(s, "wave-1", 10, vec![entry(1)]);
+        assert_eq!(d.delete_generation(5).len(), 1);
+        let straggler = d.register_file(s, "wave-1-late", 10, vec![entry(2)]);
+        assert_eq!(d.session(s).unwrap().generation, 5, "generation preserved");
+        let expired = d.delete_generation(5);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].file_id, straggler);
+        assert!(d.recipe(straggler).is_none());
+        // Generation-0 expiry never saw it.
+        assert!(d.delete_generation(0).is_empty());
+    }
+
+    #[test]
+    fn generations_group_and_expire_sessions() {
+        let d = Director::new();
+        let mut by_gen = Vec::new();
+        for generation in 0..3u64 {
+            let s = d.open_session_in_generation("nightly", generation);
+            let f = d.register_file(
+                s,
+                &format!("gen-{}", generation),
+                10,
+                vec![entry(generation)],
+            );
+            by_gen.push((generation, s, f));
+        }
+        assert_eq!(d.generations(), vec![0, 1, 2]);
+        assert_eq!(d.sessions_in_generation(1), vec![by_gen[1].1]);
+        let expired = d.delete_generation(0);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].file_id, by_gen[0].2);
+        assert_eq!(d.generations(), vec![1, 2]);
+        assert!(d.recipe(by_gen[0].2).is_none());
+        assert!(d.recipe(by_gen[1].2).is_some());
     }
 }

@@ -9,6 +9,9 @@ pub enum SigmaError {
     Storage(StorageError),
     /// No file recipe exists for this file ID.
     FileNotFound(u64),
+    /// No backup session exists with this session ID (already deleted or never
+    /// opened).
+    BackupNotFound(u64),
     /// A chunk referenced by a file recipe could not be found on its node.
     ChunkMissing {
         /// Node that was expected to hold the chunk.
@@ -48,6 +51,9 @@ impl std::fmt::Display for SigmaError {
         match self {
             SigmaError::Storage(e) => write!(f, "storage error: {}", e),
             SigmaError::FileNotFound(id) => write!(f, "no file recipe for file id {}", id),
+            SigmaError::BackupNotFound(id) => {
+                write!(f, "no backup session with id {}", id)
+            }
             SigmaError::ChunkMissing { node, fingerprint } => {
                 write!(f, "chunk {} missing on node {}", fingerprint, node)
             }

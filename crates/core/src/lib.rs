@@ -70,13 +70,13 @@ mod routing;
 mod super_chunk;
 
 pub use client::{BackupClient, FileBackupReport};
-pub use cluster::{BatchReceipts, ClusterStats, DedupCluster, MessageStats, StreamBatch};
+pub use cluster::{BatchReceipts, ClusterStats, DedupCluster, GcReport, MessageStats, StreamBatch};
 pub use config::{SigmaConfig, SigmaConfigBuilder, MAX_PARALLELISM};
 pub use director::{BackupSession, Director, FileId, FileRecipe, RecipeEntry};
 pub use error::SigmaError;
 pub use handprint::{jaccard, Handprint};
 pub use membership::{MoveReceipt, NodeMap, RebalanceReport, Rebalancer};
-pub use node::{DedupNode, NodeStats, RecoveryReport, SuperChunkReceipt};
+pub use node::{DedupNode, NodeGcReport, NodeStats, RecoveryReport, SuperChunkReceipt};
 pub use pipeline::{IngestPipeline, StreamPayload};
 pub use routing::{DataRouter, RoutingContext, RoutingDecision, SimilarityRouter};
 pub use super_chunk::{ChunkDescriptor, SuperChunk, SuperChunkBuilder};

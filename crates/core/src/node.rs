@@ -166,9 +166,35 @@ pub struct RecoveryReport {
     pub tombstones_restored: u64,
     /// Duplicated adopt records skipped by the origin-keyed idempotence guard.
     pub duplicate_adopts_skipped: u64,
+    /// Garbage-collection records replayed (`GcCompact` + `GcDrop`): the sweep
+    /// history folded back into the recovered state, so recovery converges to
+    /// the post-GC world rather than resurrecting collected containers.
+    pub gc_records_replayed: u64,
+    /// `RecipeDelete` audit records seen during replay.
+    pub recipe_deletes_replayed: u64,
     /// Half-completed migrations finished by cluster-level reconciliation (only
     /// set by [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)).
     pub reconciled_migrations: u64,
+}
+
+/// What one node-local GC sweep reclaimed — the per-node half of a
+/// [`GcReport`](crate::GcReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeGcReport {
+    /// The swept node's stable ID.
+    pub node_id: usize,
+    /// Sealed containers examined.
+    pub containers_scanned: u64,
+    /// Containers dropped outright (no live chunks).
+    pub containers_dropped: u64,
+    /// Containers compacted (live chunks rewritten into a fresh container).
+    pub containers_compacted: u64,
+    /// Containers kept despite dead bytes (liveness at or above the threshold).
+    pub containers_kept_partial: u64,
+    /// Dead chunks discarded by drops and compactions.
+    pub chunks_discarded: u64,
+    /// Physical bytes reclaimed.
+    pub bytes_reclaimed: u64,
 }
 
 impl DedupNode {
@@ -337,6 +363,49 @@ impl DedupNode {
                 // with the container.
                 let _ = self.similarity_index.extract_container(container);
                 report.tombstones_restored += 1;
+            }
+            JournalRecord::RecipeDelete { .. } => {
+                // Recipes are director state; the record is a durable witness
+                // that later GC records were computed against a post-delete
+                // root set (and a crash boundary between deletion and sweep).
+                report.recipe_deletes_replayed += 1;
+            }
+            JournalRecord::GcCompact {
+                victim,
+                replacement,
+                rfps,
+            } => {
+                // One atomic swap, exactly as the live sweep performed it: the
+                // victim (installed by an earlier seal/adopt replay) goes, its
+                // dead chunk entries with it; the replacement comes back with
+                // its chunks indexed at their new offsets and the travelling
+                // RFPs re-homed.
+                if let Some(old) = self
+                    .store
+                    .apply_compaction_recovered(&victim, replacement.clone())
+                {
+                    for record in &old.meta().records {
+                        self.chunk_index.remove_if_at(&record.fingerprint, victim);
+                    }
+                }
+                self.index_container_records(&replacement);
+                let _ = self.similarity_index.extract_container(victim);
+                for rfp in rfps {
+                    self.similarity_index.insert(rfp, replacement.id());
+                }
+                report.gc_records_replayed += 1;
+            }
+            JournalRecord::GcDrop { container } => {
+                // Unlike a tombstone, nothing forwards anywhere: the data was
+                // unreferenced, so its index and similarity entries die with it.
+                if let Some(old) = self.store.remove_sealed(&container) {
+                    for record in &old.meta().records {
+                        self.chunk_index
+                            .remove_if_at(&record.fingerprint, container);
+                    }
+                }
+                let _ = self.similarity_index.extract_container(container);
+                report.gc_records_replayed += 1;
             }
             JournalRecord::StatsCheckpoint {
                 logical_bytes,
@@ -687,6 +756,121 @@ impl DedupNode {
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    // ---- Garbage collection (used by `DedupCluster::collect_garbage`) ----
+
+    /// The finalized chunk-index location of a fingerprint, without charging
+    /// simulated disk I/O or lookup statistics — the GC mark phase's resolver.
+    pub fn chunk_location(&self, fingerprint: &Fingerprint) -> Option<ChunkLocation> {
+        self.chunk_index.lookup_silent(fingerprint)
+    }
+
+    /// True if `container` is currently open (being filled by some stream).
+    /// Open containers are invisible to the GC sweep: their chunks are not yet
+    /// acknowledged and their container cannot be scored or compacted.
+    pub fn has_open_container(&self, container: &ContainerId) -> bool {
+        self.store.contains_open(container)
+    }
+
+    /// Durably notes that a file recipe referencing this node was deleted.
+    ///
+    /// Best-effort and advisory: recipes are director state, so the record has
+    /// no structural replay effect — it witnesses that any later GC record was
+    /// computed against a post-delete root set and gives fault plans a journal
+    /// boundary between deletion and sweep.  A crashed journal is ignored (the
+    /// deletion itself is a director-side fact either way; the node's next
+    /// sweep will surface the crash).
+    pub fn note_recipe_deleted(&self, file_id: u64) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::RecipeDelete { file_id });
+        }
+    }
+
+    /// Sweeps this node's sealed containers against the mark phase's live set.
+    ///
+    /// `live` maps each of this node's containers to the fingerprints some
+    /// surviving recipe still references there (containers absent from the map
+    /// are fully dead).  Containers with no live chunks are dropped; containers
+    /// whose live fraction falls below `threshold` are *compacted* — their live
+    /// chunks rewritten into a fresh container (the same install path an
+    /// adopted migrated container takes) before the victim drops; everything
+    /// else is kept, with its live/dead accounting refreshed.  Open containers
+    /// are never touched.
+    ///
+    /// Every structural change is journaled write-ahead (`GcDrop` /
+    /// `GcCompact`), so a crash at any record boundary recovers to a state the
+    /// sweep can simply be re-run from.
+    ///
+    /// Must run at a GC-quiescent point: no concurrent backup may be
+    /// deduplicating against containers this sweep might collect, or a chunk
+    /// could be declared duplicate against data that is about to vanish.
+    /// Restores and migrations are safe to interleave.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crash error when the journal refuses an append; the sweep
+    /// stops at that boundary (completed drops/compactions stand, the rest of
+    /// the plan is untouched) and can be retried after recovery.
+    pub fn sweep_garbage(
+        &self,
+        live: &HashMap<ContainerId, HashSet<Fingerprint>>,
+        threshold: f64,
+    ) -> Result<NodeGcReport> {
+        let mut report = NodeGcReport {
+            node_id: self.id,
+            ..NodeGcReport::default()
+        };
+        let empty = HashSet::new();
+        for cid in self.store.sealed_container_ids() {
+            let live_fps = live.get(&cid).unwrap_or(&empty);
+            let Some(acct) = self.store.container_liveness(&cid, live_fps) else {
+                continue;
+            };
+            report.containers_scanned += 1;
+            if acct.live_chunks == 0 {
+                if let Some(dropped) = self.store.drop_sealed_gc(&cid)? {
+                    for record in &dropped.meta().records {
+                        self.chunk_index.remove_if_at(&record.fingerprint, cid);
+                    }
+                    let _ = self.similarity_index.extract_container(cid);
+                    report.containers_dropped += 1;
+                    report.chunks_discarded += dropped.chunk_count() as u64;
+                    report.bytes_reclaimed += dropped.data_size() as u64;
+                }
+            } else if acct.dead_chunks > 0 && acct.liveness() < threshold {
+                // The RFPs are peeked (not extracted) before the durable
+                // append, mirroring a migration: if the append crashes, the
+                // victim — and its similarity state — is untouched.
+                let rfps = self.similarity_index.peek_container(cid);
+                if let Some(outcome) = self.store.compact_container(&cid, live_fps, &rfps)? {
+                    for record in &outcome.dead_records {
+                        self.chunk_index.remove_if_at(&record.fingerprint, cid);
+                    }
+                    for record in &outcome.live_records {
+                        self.chunk_index.retarget(
+                            &record.fingerprint,
+                            cid,
+                            ChunkLocation {
+                                container: outcome.replacement,
+                                offset: record.offset,
+                                len: record.len,
+                            },
+                        );
+                    }
+                    let moved = self.similarity_index.extract_container(cid);
+                    for rfp in moved {
+                        self.similarity_index.insert(rfp, outcome.replacement);
+                    }
+                    report.containers_compacted += 1;
+                    report.chunks_discarded += outcome.dead_records.len() as u64;
+                    report.bytes_reclaimed += outcome.reclaimed_bytes;
+                }
+            } else if acct.dead_chunks > 0 {
+                report.containers_kept_partial += 1;
+            }
+        }
+        Ok(report)
     }
 
     // ---- Elastic-membership support (used by the cluster's `Rebalancer`) ----
@@ -1432,6 +1616,224 @@ mod tests {
             recovered.read_chunk(&sc.descriptors()[0].fingerprint),
             Err(SigmaError::ChunkMigrated { node: 1, .. })
         ));
+        recovered.verify_consistency().unwrap();
+    }
+
+    /// Live map for `sweep_garbage` built from the node's own index: every
+    /// fingerprint in `survivors` marked at the container that holds it.
+    fn live_map(
+        node: &DedupNode,
+        survivors: &[Fingerprint],
+    ) -> HashMap<ContainerId, HashSet<Fingerprint>> {
+        let mut live: HashMap<ContainerId, HashSet<Fingerprint>> = HashMap::new();
+        for fp in survivors {
+            let loc = node.chunk_location(fp).expect("survivor is indexed");
+            live.entry(loc.container).or_default().insert(*fp);
+        }
+        live
+    }
+
+    #[test]
+    fn sweep_drops_dead_containers_and_compacts_half_dead_ones() {
+        let node = DedupNode::new(0, &config());
+        // Stream 0: all chunks survive.  Stream 1: half survive (compaction).
+        // Stream 2: nothing survives (drop).
+        let keep = payload_super_chunk(1, 8, 1024);
+        let half = payload_super_chunk(2, 8, 1024);
+        let dead = payload_super_chunk(3, 8, 1024);
+        for (stream, sc) in [(0u64, &keep), (1, &half), (2, &dead)] {
+            node.process_super_chunk(stream, sc, &sc.handprint(4))
+                .unwrap();
+        }
+        node.flush();
+        let physical_before = node.storage_usage();
+
+        let mut survivors: Vec<Fingerprint> =
+            keep.descriptors().iter().map(|d| d.fingerprint).collect();
+        survivors.extend(half.descriptors()[..4].iter().map(|d| d.fingerprint));
+        let report = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.75)
+            .unwrap();
+
+        assert_eq!(report.containers_scanned, 3);
+        assert_eq!(report.containers_dropped, 1);
+        assert_eq!(report.containers_compacted, 1);
+        assert_eq!(report.chunks_discarded, 8 + 4);
+        assert_eq!(report.bytes_reclaimed, 12 * 1024);
+        assert_eq!(node.storage_usage(), physical_before - 12 * 1024);
+
+        // Survivors read back byte-identically (the compacted ones through
+        // their retargeted index entries).
+        for (i, d) in keep.descriptors().iter().enumerate() {
+            assert_eq!(
+                node.read_chunk(&d.fingerprint).unwrap(),
+                keep.payload(i).unwrap()
+            );
+        }
+        for (i, d) in half.descriptors().iter().enumerate().take(4) {
+            assert_eq!(
+                node.read_chunk(&d.fingerprint).unwrap(),
+                half.payload(i).unwrap()
+            );
+        }
+        // Dead chunks are gone — cleanly, with their index entries.
+        for d in dead.descriptors() {
+            assert!(matches!(
+                node.read_chunk(&d.fingerprint),
+                Err(SigmaError::ChunkMissing { .. })
+            ));
+        }
+        for d in &half.descriptors()[4..] {
+            assert!(node.read_chunk(&d.fingerprint).is_err());
+        }
+        node.verify_consistency().unwrap();
+
+        // A second sweep with the same root set reclaims nothing more.
+        let again = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.75)
+            .unwrap();
+        assert_eq!(again.bytes_reclaimed, 0);
+        assert_eq!(again.containers_dropped, 0);
+        assert_eq!(again.containers_compacted, 0);
+    }
+
+    #[test]
+    fn sweep_respects_the_liveness_threshold() {
+        let node = DedupNode::new(0, &config());
+        let sc = payload_super_chunk(5, 8, 1024);
+        node.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        node.flush();
+        let survivors: Vec<Fingerprint> = sc.descriptors()[..6]
+            .iter()
+            .map(|d| d.fingerprint)
+            .collect();
+        // 6/8 = 0.75 live: at threshold 0.5 the container is kept...
+        let report = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.5)
+            .unwrap();
+        assert_eq!(report.containers_compacted, 0);
+        assert_eq!(report.containers_kept_partial, 1);
+        assert_eq!(report.bytes_reclaimed, 0);
+        // ...and the per-container accounting still records the dead fraction.
+        let cid = node.sealed_container_ids()[0];
+        let acct = node.stats().containers;
+        assert_eq!(acct.gc_reclaimed_bytes, 0);
+        assert_eq!(
+            node.store.recorded_liveness(&cid).unwrap().dead_bytes,
+            2 * 1024
+        );
+        // At threshold 0.9 it is compacted.
+        let report = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.9)
+            .unwrap();
+        assert_eq!(report.containers_compacted, 1);
+        assert_eq!(report.bytes_reclaimed, 2 * 1024);
+        node.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn sweep_rehomes_similarity_entries_with_the_replacement() {
+        let node = DedupNode::new(0, &config());
+        let sc = payload_super_chunk(9, 8, 1024);
+        let hp = sc.handprint(8);
+        node.process_super_chunk(0, &sc, &hp).unwrap();
+        node.flush();
+        assert_eq!(node.resemblance_count(&hp), 8);
+        let survivors: Vec<Fingerprint> = sc.descriptors()[..2]
+            .iter()
+            .map(|d| d.fingerprint)
+            .collect();
+        let report = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.5)
+            .unwrap();
+        assert_eq!(report.containers_compacted, 1);
+        // The handprint still resolves — to the replacement container.
+        assert_eq!(node.resemblance_count(&hp), 8);
+        node.verify_consistency().unwrap();
+
+        // Dropping the rest kills the similarity entries too.
+        let report = node.sweep_garbage(&HashMap::new(), 0.5).unwrap();
+        assert_eq!(report.containers_dropped, 1);
+        assert_eq!(node.resemblance_count(&hp), 0);
+        assert_eq!(node.storage_usage(), 0);
+        node.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn gc_records_replay_to_the_post_gc_state() {
+        let cfg = durable_config();
+        let node = DedupNode::new(0, &cfg);
+        let keep = payload_super_chunk(1, 6, 2048);
+        let dead = payload_super_chunk(2, 6, 2048);
+        node.process_super_chunk(0, &keep, &keep.handprint(4))
+            .unwrap();
+        node.process_super_chunk(1, &dead, &dead.handprint(4))
+            .unwrap();
+        node.try_flush().unwrap();
+        node.note_recipe_deleted(7);
+        let survivors: Vec<Fingerprint> = keep.descriptors()[..3]
+            .iter()
+            .map(|d| d.fingerprint)
+            .collect();
+        let report = node
+            .sweep_garbage(&live_map(&node, &survivors), 0.9)
+            .unwrap();
+        assert_eq!(report.containers_dropped, 1);
+        assert_eq!(report.containers_compacted, 1);
+        let physical_after_gc = node.storage_usage();
+
+        let journal = node.journal().unwrap().clone();
+        let (recovered, recovery) = DedupNode::recover(0, &cfg, journal).unwrap();
+        assert_eq!(recovery.gc_records_replayed, 2, "one drop + one compact");
+        assert_eq!(recovery.recipe_deletes_replayed, 1);
+        assert_eq!(
+            recovered.storage_usage(),
+            physical_after_gc,
+            "collected containers must not resurrect"
+        );
+        for (i, d) in keep.descriptors().iter().enumerate().take(3) {
+            assert_eq!(
+                recovered.read_chunk(&d.fingerprint).unwrap(),
+                keep.payload(i).unwrap()
+            );
+        }
+        for d in dead.descriptors() {
+            assert!(recovered.read_chunk(&d.fingerprint).is_err());
+        }
+        recovered.verify_consistency().unwrap();
+
+        // Compaction folds the GC history into the snapshot too.
+        recovered.compact_journal().unwrap();
+        let journal = recovered.journal().unwrap().clone();
+        let (again, _) = DedupNode::recover(0, &cfg, journal).unwrap();
+        assert_eq!(again.storage_usage(), physical_after_gc);
+        again.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn sweep_crash_on_the_gc_append_leaves_the_victim_untouched() {
+        let cfg = durable_config();
+        let node = DedupNode::new(0, &cfg);
+        let sc = payload_super_chunk(4, 6, 2048);
+        node.process_super_chunk(0, &sc, &sc.handprint(4)).unwrap();
+        node.try_flush().unwrap();
+        let physical_before = node.storage_usage();
+
+        let journal = node.journal().unwrap().clone();
+        journal.arm_crash_at_seq(journal.next_seq(), sigma_storage::CrashMode::Clean);
+        let err = node.sweep_garbage(&HashMap::new(), 0.5);
+        assert!(err.is_err(), "the GcDrop append must crash");
+        assert_eq!(
+            node.storage_usage(),
+            physical_before,
+            "write-ahead: no drop"
+        );
+
+        // Recovery and a re-run finish the sweep.
+        let (recovered, _) = DedupNode::recover(0, &cfg, journal).unwrap();
+        let report = recovered.sweep_garbage(&HashMap::new(), 0.5).unwrap();
+        assert_eq!(report.containers_dropped, 1);
+        assert_eq!(recovered.storage_usage(), 0);
         recovered.verify_consistency().unwrap();
     }
 

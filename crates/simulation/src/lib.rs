@@ -19,6 +19,10 @@
 //!   journal-record boundary (including mid-rebalance), the node is recovered
 //!   from its write-ahead journal, and every acknowledged byte must restore
 //!   identically afterwards.
+//! * [`retention_churn`] — the backup lifecycle: N generations ingested, the
+//!   oldest expired one by one (delete + mark-and-sweep garbage collection),
+//!   survivors restore-verified, and physical bytes asserted to actually shrink
+//!   while never dropping below the proven-live bytes.
 //!
 //! # Example
 //!
@@ -44,4 +48,5 @@
 pub mod churn;
 pub mod crash_churn;
 pub mod experiments;
+pub mod retention_churn;
 pub mod runner;

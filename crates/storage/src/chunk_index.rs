@@ -242,6 +242,62 @@ impl ChunkIndex {
         self.stripes[stripe].read().contains_key(fp)
     }
 
+    /// The finalized location of a fingerprint, without charging a disk access or
+    /// touching the lookup statistics.
+    ///
+    /// The garbage collector's mark phase walks every chunk of every live recipe;
+    /// charging each walk as a random disk read (and counting it as a cache-path
+    /// lookup) would drown the ingest statistics the experiments report, so the
+    /// mark phase reads the index silently — on a real node it would scan the
+    /// index sequentially anyway.
+    pub fn lookup_silent(&self, fp: &Fingerprint) -> Option<ChunkLocation> {
+        let stripe = self.stripe_of(fp);
+        match self.stripes[stripe].read().get(fp) {
+            Some(Slot::Stored(loc)) => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// Removes the entry for `fp` **iff** it still points at `container`.
+    ///
+    /// This is the sweep phase's striped removal primitive: a chunk declared dead
+    /// in one container may meanwhile have been re-ingested into a *different*
+    /// container (its entry overwritten), in which case the newer entry must
+    /// survive the old container's collection.  Returns `true` when an entry was
+    /// removed.
+    pub fn remove_if_at(&self, fp: &Fingerprint, container: ContainerId) -> bool {
+        let stripe = self.stripe_of(fp);
+        let mut map = self.stripes[stripe].write();
+        match map.get(fp) {
+            Some(Slot::Stored(loc)) if loc.container == container => {
+                map.remove(fp);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-points the entry for `fp` at `location` **iff** it currently points at
+    /// `container` — the compaction primitive: live chunks rewritten into a fresh
+    /// container keep exactly one index entry, atomically per stripe.  Returns
+    /// `true` when the entry was retargeted.
+    pub fn retarget(
+        &self,
+        fp: &Fingerprint,
+        container: ContainerId,
+        location: ChunkLocation,
+    ) -> bool {
+        let stripe = self.stripe_of(fp);
+        let mut map = self.stripes[stripe].write();
+        match map.get(fp) {
+            Some(Slot::Stored(loc)) if loc.container == container => {
+                map.insert(*fp, Slot::Stored(location));
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Every finalized entry as `(fingerprint, location)` pairs, sorted by
     /// fingerprint — the chunk-index half of a compaction snapshot.  Pending
     /// claims are skipped: their chunks have no durable location yet.
@@ -394,6 +450,54 @@ mod tests {
         // Abandon after finalize is a no-op.
         idx.abandon(&fp(1));
         assert_eq!(idx.lookup(&fp(1)), Some(loc(1, 0)));
+    }
+
+    #[test]
+    fn lookup_silent_reads_without_stats_or_disk() {
+        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        let idx = ChunkIndex::with_disk(disk.clone());
+        idx.insert(fp(1), loc(1, 0));
+        assert_eq!(idx.lookup_silent(&fp(1)), Some(loc(1, 0)));
+        assert_eq!(idx.lookup_silent(&fp(2)), None);
+        // A pending claim has no location.
+        idx.claim(fp(3));
+        assert_eq!(idx.lookup_silent(&fp(3)), None);
+        let s = idx.stats();
+        assert_eq!(s.lookups, 1, "only the claim counted");
+        assert_eq!(disk.stats().random_reads, 1, "silent lookups are free");
+    }
+
+    #[test]
+    fn remove_if_at_only_removes_matching_entries() {
+        let idx = ChunkIndex::new();
+        idx.insert(fp(1), loc(1, 0));
+        assert!(
+            !idx.remove_if_at(&fp(1), ContainerId::new(2)),
+            "wrong container"
+        );
+        assert!(idx.contains_silent(&fp(1)));
+        assert!(idx.remove_if_at(&fp(1), ContainerId::new(1)));
+        assert!(!idx.contains_silent(&fp(1)));
+        // Absent entries and pending claims are untouched.
+        assert!(!idx.remove_if_at(&fp(1), ContainerId::new(1)));
+        idx.claim(fp(2));
+        assert!(!idx.remove_if_at(&fp(2), ContainerId::new(1)));
+        assert!(idx.contains_silent(&fp(2)));
+    }
+
+    #[test]
+    fn retarget_moves_only_matching_entries() {
+        let idx = ChunkIndex::new();
+        idx.insert(fp(1), loc(1, 0));
+        assert!(idx.retarget(&fp(1), ContainerId::new(1), loc(9, 64)));
+        assert_eq!(idx.lookup_silent(&fp(1)), Some(loc(9, 64)));
+        // A second retarget against the old container is a no-op.
+        assert!(!idx.retarget(&fp(1), ContainerId::new(1), loc(7, 0)));
+        assert_eq!(idx.lookup_silent(&fp(1)), Some(loc(9, 64)));
+        assert!(
+            !idx.retarget(&fp(2), ContainerId::new(1), loc(7, 0)),
+            "absent"
+        );
     }
 
     #[test]

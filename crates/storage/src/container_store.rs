@@ -49,6 +49,53 @@ pub struct ContainerStoreStats {
     pub metadata_reads: u64,
     /// Full container data reads (restores).
     pub data_reads: u64,
+    /// Containers dropped by the garbage collector (no live chunks).
+    pub gc_dropped_containers: u64,
+    /// Containers compacted by the garbage collector (live chunks rewritten).
+    pub gc_compacted_containers: u64,
+    /// Bytes reclaimed by garbage collection (drops + compactions).
+    pub gc_reclaimed_bytes: u64,
+}
+
+/// Per-container live/dead byte accounting, as of the last GC mark that scored
+/// the container (see [`ContainerStore::container_liveness`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerLiveness {
+    /// Bytes of chunks referenced by at least one surviving recipe.
+    pub live_bytes: u64,
+    /// Bytes of chunks no surviving recipe references.
+    pub dead_bytes: u64,
+    /// Chunks referenced by at least one surviving recipe.
+    pub live_chunks: u64,
+    /// Chunks no surviving recipe references.
+    pub dead_chunks: u64,
+}
+
+impl ContainerLiveness {
+    /// Fraction of the container's data section that is live (1.0 when empty).
+    pub fn liveness(&self) -> f64 {
+        let total = self.live_bytes + self.dead_bytes;
+        if total == 0 {
+            1.0
+        } else {
+            self.live_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// What one container compaction did (see [`ContainerStore::compact_container`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// The container that was compacted away.
+    pub victim: ContainerId,
+    /// The fresh container now holding the victim's live chunks.
+    pub replacement: ContainerId,
+    /// The live chunks' records *at their new offsets* in the replacement.
+    pub live_records: Vec<crate::ChunkRecord>,
+    /// The dead chunks' records (old offsets; their index entries must go).
+    pub dead_records: Vec<crate::ChunkRecord>,
+    /// Physical bytes reclaimed (victim data size − replacement data size).
+    pub reclaimed_bytes: u64,
 }
 
 /// One stream's open container.  `builder` is `None` once the slot has been
@@ -88,11 +135,18 @@ pub struct ContainerStore {
     /// duplicated migration record) returns the existing local container instead
     /// of double-storing the data.
     adopted: RwLock<HashMap<(u64, ContainerId), ContainerId>>,
+    /// Per-container live/dead byte accounting, refreshed by every GC mark that
+    /// scores the container and dropped with it.  Containers never scored (no GC
+    /// ran yet) are absent.
+    liveness: RwLock<HashMap<ContainerId, ContainerLiveness>>,
     sealed_containers: AtomicU64,
     stored_bytes: AtomicU64,
     stored_chunks: AtomicU64,
     metadata_reads: AtomicU64,
     data_reads: AtomicU64,
+    gc_dropped: AtomicU64,
+    gc_compacted: AtomicU64,
+    gc_reclaimed_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for ContainerStore {
@@ -132,11 +186,15 @@ impl ContainerStore {
             open: RwLock::new(HashMap::new()),
             sealed: RwLock::new(HashMap::new()),
             adopted: RwLock::new(HashMap::new()),
+            liveness: RwLock::new(HashMap::new()),
             sealed_containers: AtomicU64::new(0),
             stored_bytes: AtomicU64::new(0),
             stored_chunks: AtomicU64::new(0),
             metadata_reads: AtomicU64::new(0),
             data_reads: AtomicU64::new(0),
+            gc_dropped: AtomicU64::new(0),
+            gc_compacted: AtomicU64::new(0),
+            gc_reclaimed_bytes: AtomicU64::new(0),
         }
     }
 
@@ -619,12 +677,203 @@ impl ContainerStore {
     /// subtracting its bytes and chunks from this store's accounting.
     pub fn remove_sealed(&self, container: &ContainerId) -> Option<Container> {
         let removed = self.sealed.write().remove(container)?;
+        self.liveness.write().remove(container);
         self.sealed_containers.fetch_sub(1, Ordering::Relaxed);
         self.stored_bytes
             .fetch_sub(removed.data_size() as u64, Ordering::Relaxed);
         self.stored_chunks
             .fetch_sub(removed.chunk_count() as u64, Ordering::Relaxed);
         Some(removed)
+    }
+
+    // ---- Garbage collection (mark-and-sweep support) ----
+
+    /// Scores a sealed container against the GC mark phase's live-fingerprint
+    /// set, recording (and returning) its live/dead byte accounting.
+    ///
+    /// Returns `None` when no sealed container with this ID exists.  The figure
+    /// is a *mark-time snapshot*: it is refreshed by every GC and dropped with
+    /// the container; [`recorded_liveness`](Self::recorded_liveness) reads it
+    /// back without rescoring.
+    pub fn container_liveness(
+        &self,
+        container: &ContainerId,
+        live: &std::collections::HashSet<Fingerprint>,
+    ) -> Option<ContainerLiveness> {
+        let mut acct = ContainerLiveness::default();
+        {
+            let sealed = self.sealed.read();
+            let c = sealed.get(container)?;
+            for record in &c.meta().records {
+                if live.contains(&record.fingerprint) {
+                    acct.live_bytes += record.len as u64;
+                    acct.live_chunks += 1;
+                } else {
+                    acct.dead_bytes += record.len as u64;
+                    acct.dead_chunks += 1;
+                }
+            }
+        }
+        self.liveness.write().insert(*container, acct);
+        Some(acct)
+    }
+
+    /// The live/dead accounting the last GC mark recorded for a container, if
+    /// the container still exists and has been scored.
+    pub fn recorded_liveness(&self, container: &ContainerId) -> Option<ContainerLiveness> {
+        self.liveness.read().get(container).copied()
+    }
+
+    /// Drops a sealed container the GC found fully dead, journaling a
+    /// [`JournalRecord::GcDrop`] *before* the data goes (write-ahead, like every
+    /// other state change).  Returns the dropped container so the caller can
+    /// clean up the indexes that referenced it, or `None` if the container does
+    /// not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Crashed`] when the journal refuses the append;
+    /// the container is then *not* dropped.
+    pub fn drop_sealed_gc(&self, container: &ContainerId) -> Result<Option<Container>> {
+        if !self.sealed.read().contains_key(container) {
+            return Ok(None);
+        }
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::GcDrop {
+                container: *container,
+            })?;
+        }
+        let removed = self.remove_sealed(container);
+        if removed.is_some() {
+            self.gc_dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &removed {
+                self.gc_reclaimed_bytes
+                    .fetch_add(c.data_size() as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Compacts a sealed container: its chunks in `live` are rewritten into a
+    /// fresh container (the same install path an adopted migrated container
+    /// takes: new local ID, sealed directly, journaled as one atomic record) and
+    /// the victim is dropped.  `rfps` are the representative fingerprints
+    /// travelling to the replacement, journaled with it so replay re-homes the
+    /// similarity entries exactly as the live path does.
+    ///
+    /// Returns `None` — journaling nothing — when the container does not exist,
+    /// has no dead bytes (nothing to reclaim), or has no live bytes (use
+    /// [`drop_sealed_gc`](Self::drop_sealed_gc)).
+    ///
+    /// Must run at a GC-quiescent point, like the sweep that calls it: no
+    /// concurrent ingest may be deduplicating against the victim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Crashed`] when the journal refuses the append;
+    /// the victim then remains in place, untouched.
+    pub fn compact_container(
+        &self,
+        victim: &ContainerId,
+        live: &std::collections::HashSet<Fingerprint>,
+        rfps: &[Fingerprint],
+    ) -> Result<Option<CompactionOutcome>> {
+        // The sealed write-lock is held across the whole swap.  Lock order
+        // stays slot → sealed (we take no slot locks), and the journal mutex is
+        // a leaf acquired and released inside `append`, so this cannot deadlock
+        // against a concurrent rollover seal.
+        let mut sealed = self.sealed.write();
+        let Some(old) = sealed.get(victim) else {
+            return Ok(None);
+        };
+        let mut dead_records = Vec::new();
+        let mut live_src = Vec::new();
+        for record in &old.meta().records {
+            if live.contains(&record.fingerprint) {
+                live_src.push(*record);
+            } else {
+                dead_records.push(*record);
+            }
+        }
+        if dead_records.is_empty() || live_src.is_empty() {
+            return Ok(None);
+        }
+        let old = old.clone();
+        let new_id = self.alloc_id();
+        let mut builder = ContainerBuilder::new(new_id, self.capacity);
+        for record in &live_src {
+            let end = (record.offset + record.len) as usize;
+            // Synthetic (trace-driven) chunks carry no payload; their records
+            // point past the real data section and travel metadata-only.
+            let appended = if end <= old.data().len() {
+                builder.try_append(record.fingerprint, &old.data()[record.offset as usize..end])
+            } else {
+                builder.try_append_synthetic(record.fingerprint, record.len)
+            };
+            debug_assert!(appended, "a live subset always fits its own container");
+        }
+        let replacement = builder.seal();
+        let live_records = replacement.meta().records.clone();
+        let reclaimed = (old.data_size() - replacement.data_size()) as u64;
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalRecord::GcCompact {
+                victim: *victim,
+                replacement: replacement.clone(),
+                rfps: rfps.to_vec(),
+            })?;
+        }
+        if let Some(disk) = &self.disk {
+            // Read the victim off disk, write the replacement back.
+            disk.record_sequential_transfer(
+                (old.data_size() + old.meta().serialized_size()) as u64,
+            );
+            disk.record_sequential_transfer(
+                (replacement.data_size() + replacement.meta().serialized_size()) as u64,
+            );
+        }
+        sealed.remove(victim);
+        sealed.insert(new_id, replacement);
+        drop(sealed);
+        self.liveness.write().remove(victim);
+        self.stored_bytes.fetch_sub(reclaimed, Ordering::Relaxed);
+        self.stored_chunks
+            .fetch_sub(dead_records.len() as u64, Ordering::Relaxed);
+        self.gc_compacted.fetch_add(1, Ordering::Relaxed);
+        self.gc_reclaimed_bytes
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        Ok(Some(CompactionOutcome {
+            victim: *victim,
+            replacement: new_id,
+            live_records,
+            dead_records,
+            reclaimed_bytes: reclaimed,
+        }))
+    }
+
+    /// Installs a GC-compaction replacement during journal replay: the victim is
+    /// removed (if present) and the replacement installed under its recorded
+    /// identifier, with the byte/chunk counters adjusted to match.  Returns the
+    /// removed victim so the replaying node can clean its indexes.
+    pub fn apply_compaction_recovered(
+        &self,
+        victim: &ContainerId,
+        replacement: Container,
+    ) -> Option<Container> {
+        let removed = self.remove_sealed(victim);
+        self.install_recovered(None, replacement);
+        removed
+    }
+
+    /// True if a container with this ID is currently *open* (still being filled
+    /// by some stream) — open containers are invisible to the GC sweep.
+    pub fn contains_open(&self, container: &ContainerId) -> bool {
+        let slots: Vec<Arc<Mutex<OpenSlot>>> = self.open.read().values().cloned().collect();
+        slots.iter().any(|slot| {
+            slot.lock()
+                .builder
+                .as_ref()
+                .is_some_and(|b| b.id() == *container)
+        })
     }
 
     /// Total physical bytes stored (sealed + open containers' data sections).
@@ -657,6 +906,9 @@ impl ContainerStore {
             stored_chunks: self.stored_chunks.load(Ordering::Relaxed),
             metadata_reads: self.metadata_reads.load(Ordering::Relaxed),
             data_reads: self.data_reads.load(Ordering::Relaxed),
+            gc_dropped_containers: self.gc_dropped.load(Ordering::Relaxed),
+            gc_compacted_containers: self.gc_compacted.load(Ordering::Relaxed),
+            gc_reclaimed_bytes: self.gc_reclaimed_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -871,6 +1123,118 @@ mod tests {
         }
         store.flush().unwrap();
         assert_eq!(store.stats().stored_chunks, 4 * 400);
+    }
+
+    #[test]
+    fn liveness_accounting_scores_live_and_dead_bytes() {
+        let store = ContainerStore::new(4096);
+        let mut fps = Vec::new();
+        for i in 0..4u64 {
+            let (fp, data) = payload(i, 100);
+            store.store_chunk(0, fp, &data).unwrap();
+            fps.push(fp);
+        }
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        let live: std::collections::HashSet<Fingerprint> = fps[..3].iter().copied().collect();
+        let acct = store.container_liveness(&cid, &live).unwrap();
+        assert_eq!(acct.live_bytes, 300);
+        assert_eq!(acct.dead_bytes, 100);
+        assert_eq!(acct.live_chunks, 3);
+        assert_eq!(acct.dead_chunks, 1);
+        assert!((acct.liveness() - 0.75).abs() < 1e-12);
+        assert_eq!(store.recorded_liveness(&cid), Some(acct));
+        // Unknown containers score nothing.
+        assert!(store
+            .container_liveness(&ContainerId::new(999), &live)
+            .is_none());
+    }
+
+    #[test]
+    fn compact_container_rewrites_live_chunks_and_reclaims_dead_bytes() {
+        let store = ContainerStore::new(4096);
+        let chunks: Vec<(Fingerprint, Vec<u8>)> = (0..4u64).map(|i| payload(i, 100)).collect();
+        for (fp, data) in &chunks {
+            store.store_chunk(0, *fp, data).unwrap();
+        }
+        store.flush().unwrap();
+        let victim = store.sealed_container_ids()[0];
+        let live: std::collections::HashSet<Fingerprint> =
+            [chunks[1].0, chunks[3].0].into_iter().collect();
+        let outcome = store
+            .compact_container(&victim, &live, &[])
+            .unwrap()
+            .expect("half-dead container compacts");
+        assert_eq!(outcome.victim, victim);
+        assert_ne!(outcome.replacement, victim);
+        assert_eq!(outcome.reclaimed_bytes, 200);
+        assert_eq!(outcome.live_records.len(), 2);
+        assert_eq!(outcome.dead_records.len(), 2);
+        // Live chunks read back from the replacement at their new offsets.
+        assert!(!store.contains_sealed(&victim));
+        assert_eq!(
+            store
+                .read_chunk(&outcome.replacement, &chunks[1].0)
+                .unwrap(),
+            chunks[1].1
+        );
+        assert_eq!(
+            store
+                .read_chunk(&outcome.replacement, &chunks[3].0)
+                .unwrap(),
+            chunks[3].1
+        );
+        assert_eq!(store.physical_bytes(), 200);
+        let stats = store.stats();
+        assert_eq!(stats.sealed_containers, 1);
+        assert_eq!(stats.stored_chunks, 2);
+        assert_eq!(stats.gc_compacted_containers, 1);
+        assert_eq!(stats.gc_reclaimed_bytes, 200);
+    }
+
+    #[test]
+    fn compact_container_declines_fully_live_and_fully_dead_containers() {
+        let store = ContainerStore::new(4096);
+        let chunks: Vec<(Fingerprint, Vec<u8>)> = (0..2u64).map(|i| payload(i, 100)).collect();
+        for (fp, data) in &chunks {
+            store.store_chunk(0, *fp, data).unwrap();
+        }
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        let all: std::collections::HashSet<Fingerprint> =
+            chunks.iter().map(|(fp, _)| *fp).collect();
+        assert!(store.compact_container(&cid, &all, &[]).unwrap().is_none());
+        let none = std::collections::HashSet::new();
+        assert!(store.compact_container(&cid, &none, &[]).unwrap().is_none());
+        assert!(store
+            .compact_container(&ContainerId::new(7), &all, &[])
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            store.physical_bytes(),
+            200,
+            "declined compactions change nothing"
+        );
+    }
+
+    #[test]
+    fn drop_sealed_gc_journals_before_dropping() {
+        let journal = Arc::new(crate::Journal::new());
+        let store = ContainerStore::new(4096).with_journal(journal.clone());
+        let (fp, data) = payload(1, 100);
+        store.store_chunk(0, fp, &data).unwrap();
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        let frames_before = journal.frame_count();
+        let dropped = store.drop_sealed_gc(&cid).unwrap().expect("present");
+        assert_eq!(dropped.id(), cid);
+        assert_eq!(journal.frame_count(), frames_before + 1);
+        assert_eq!(store.physical_bytes(), 0);
+        assert_eq!(store.stats().gc_dropped_containers, 1);
+        assert_eq!(store.stats().gc_reclaimed_bytes, 100);
+        // Absent containers journal nothing.
+        assert!(store.drop_sealed_gc(&cid).unwrap().is_none());
+        assert_eq!(journal.frame_count(), frames_before + 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! | [`ContainerAdopt`](JournalRecord::ContainerAdopt) | the rebalancer installs a migrated container | reinstall container + index + RFPs, keyed by origin so a duplicated record cannot double-adopt |
 //! | [`Tombstone`](JournalRecord::Tombstone) | a migrated container's forwarding pointer is published (always *before* the data drops) | drop the container, keep the chunk entries, record the forwarding pointer |
 //! | [`StatsCheckpoint`](JournalRecord::StatsCheckpoint) | a flush acknowledges a backup session | restore the node's ingest counters |
+//! | [`RecipeDelete`](JournalRecord::RecipeDelete) | the director deletes a backup whose recipe referenced this node | no structural effect (recipes are director state); records that the GC which follows replays against a post-delete history, and gives fault plans a boundary between deletion and sweep |
+//! | [`GcCompact`](JournalRecord::GcCompact) | the sweep rewrites a mostly-dead container's live chunks into a fresh one | drop the victim (and its chunk entries), install the replacement, index its chunks, re-home the travelling RFPs |
+//! | [`GcDrop`](JournalRecord::GcDrop) | the sweep drops a container with no live chunks | drop the container and its chunk-index/similarity entries — unlike a tombstone, nothing forwards anywhere |
 //! | [`Snapshot`](JournalRecord::Snapshot) | [`Journal::compact`] folds the log | install the whole materialized state at once |
 //!
 //! # Frames, torn tails and crash points
@@ -92,6 +95,39 @@ pub enum JournalRecord {
         /// Stable ID of the node now holding the data.
         successor: u64,
     },
+    /// A file recipe referencing this node was deleted by the director.
+    ///
+    /// Structurally a no-op on replay — recipes live in the director, not on
+    /// nodes — but durable on every node the recipe named, so the record (a)
+    /// witnesses that any later GC record was computed against a post-delete
+    /// root set and (b) is a journal-append boundary a fault plan can kill at,
+    /// deterministically reproducing "the process died between the deletion and
+    /// the sweep".
+    RecipeDelete {
+        /// The deleted file's identifier.
+        file_id: u64,
+    },
+    /// The garbage collector compacted a mostly-dead container: its live chunks
+    /// were rewritten into `replacement` and the victim dropped.  One atomic
+    /// record — a crash on either side of it leaves the node consistent (before:
+    /// nothing happened; after: replay performs the whole swap).
+    GcCompact {
+        /// The container that was compacted away.
+        victim: ContainerId,
+        /// The fresh container holding exactly the victim's live chunks.
+        replacement: Container,
+        /// Representative fingerprints re-homed from the victim to the
+        /// replacement (resemblance queries keep finding the surviving data).
+        rfps: Vec<Fingerprint>,
+    },
+    /// The garbage collector dropped a container with no live chunks.  Unlike a
+    /// [`Tombstone`](JournalRecord::Tombstone) nothing forwards anywhere: the
+    /// data is unreferenced by every surviving recipe and replay removes its
+    /// chunk-index and similarity entries with it.
+    GcDrop {
+        /// The dropped container.
+        container: ContainerId,
+    },
     /// Ingest counters at an acknowledgement point (end of a flush).
     StatsCheckpoint {
         /// Logical bytes ingested.
@@ -116,6 +152,9 @@ impl JournalRecord {
             JournalRecord::SimilarityPublish { .. } => "similarity-publish",
             JournalRecord::ContainerAdopt { .. } => "container-adopt",
             JournalRecord::Tombstone { .. } => "tombstone",
+            JournalRecord::RecipeDelete { .. } => "recipe-delete",
+            JournalRecord::GcCompact { .. } => "gc-compact",
+            JournalRecord::GcDrop { .. } => "gc-drop",
             JournalRecord::StatsCheckpoint { .. } => "stats-checkpoint",
             JournalRecord::Snapshot(_) => "snapshot",
         }
@@ -517,6 +556,9 @@ const TAG_CONTAINER_ADOPT: u8 = 4;
 const TAG_TOMBSTONE: u8 = 5;
 const TAG_STATS_CHECKPOINT: u8 = 6;
 const TAG_SNAPSHOT: u8 = 7;
+const TAG_RECIPE_DELETE: u8 = 8;
+const TAG_GC_COMPACT: u8 = 9;
+const TAG_GC_DROP: u8 = 10;
 
 fn encode_record(record: &JournalRecord) -> Vec<u8> {
     let mut out = Vec::new();
@@ -560,6 +602,24 @@ fn encode_record(record: &JournalRecord) -> Vec<u8> {
             out.push(TAG_TOMBSTONE);
             out.extend_from_slice(&container.as_u64().to_le_bytes());
             out.extend_from_slice(&successor.to_le_bytes());
+        }
+        JournalRecord::RecipeDelete { file_id } => {
+            out.push(TAG_RECIPE_DELETE);
+            out.extend_from_slice(&file_id.to_le_bytes());
+        }
+        JournalRecord::GcCompact {
+            victim,
+            replacement,
+            rfps,
+        } => {
+            out.push(TAG_GC_COMPACT);
+            out.extend_from_slice(&victim.as_u64().to_le_bytes());
+            encode_container(&mut out, replacement);
+            encode_fingerprints(&mut out, rfps);
+        }
+        JournalRecord::GcDrop { container } => {
+            out.push(TAG_GC_DROP);
+            out.extend_from_slice(&container.as_u64().to_le_bytes());
         }
         JournalRecord::StatsCheckpoint {
             logical_bytes,
@@ -654,6 +714,20 @@ fn decode_record(r: &mut Reader<'_>) -> Option<JournalRecord> {
         TAG_TOMBSTONE => Some(JournalRecord::Tombstone {
             container: ContainerId::new(r.u64()?),
             successor: r.u64()?,
+        }),
+        TAG_RECIPE_DELETE => Some(JournalRecord::RecipeDelete { file_id: r.u64()? }),
+        TAG_GC_COMPACT => {
+            let victim = ContainerId::new(r.u64()?);
+            let replacement = decode_container(r)?;
+            let rfps = decode_fingerprints(r)?;
+            Some(JournalRecord::GcCompact {
+                victim,
+                replacement,
+                rfps,
+            })
+        }
+        TAG_GC_DROP => Some(JournalRecord::GcDrop {
+            container: ContainerId::new(r.u64()?),
         }),
         TAG_STATS_CHECKPOINT => Some(JournalRecord::StatsCheckpoint {
             logical_bytes: r.u64()?,
@@ -855,6 +929,15 @@ mod tests {
             JournalRecord::Tombstone {
                 container: ContainerId::new(0),
                 successor: 2,
+            },
+            JournalRecord::RecipeDelete { file_id: 17 },
+            JournalRecord::GcCompact {
+                victim: ContainerId::new(1),
+                replacement: sample_container(2),
+                rfps: vec![fp(30), fp(31)],
+            },
+            JournalRecord::GcDrop {
+                container: ContainerId::new(2),
             },
             JournalRecord::StatsCheckpoint {
                 logical_bytes: 1000,

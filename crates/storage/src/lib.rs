@@ -33,7 +33,8 @@ mod similarity_index;
 pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome};
 pub use container::{ChunkRecord, Container, ContainerBuilder, ContainerId, ContainerMeta};
 pub use container_store::{
-    ContainerStore, ContainerStoreStats, StoredChunk, StreamId, DEFAULT_CONTAINER_CAPACITY,
+    CompactionOutcome, ContainerLiveness, ContainerStore, ContainerStoreStats, StoredChunk,
+    StreamId, DEFAULT_CONTAINER_CAPACITY,
 };
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use error::StorageError;

@@ -93,6 +93,77 @@ pub fn versioned_payloads(params: VersionedPayloadParams) -> Vec<(String, Vec<u8
     out
 }
 
+/// Parameters for a *generational* payload dataset: versioned mutation plus
+/// per-generation growth — the shape of a real protection workload, where each
+/// backup generation rewrites a little of the old data and appends some new.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationalPayloadParams {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Number of backup generations.
+    pub generations: usize,
+    /// Size of generation 0 in bytes.
+    pub initial_size: usize,
+    /// Fraction of 4 KB regions rewritten between consecutive generations.
+    pub mutation_rate: f64,
+    /// Fresh bytes appended by each generation after the first (dataset growth).
+    pub growth_per_generation: usize,
+}
+
+impl Default for GenerationalPayloadParams {
+    fn default() -> Self {
+        GenerationalPayloadParams {
+            seed: 42,
+            generations: 4,
+            initial_size: 4 << 20,
+            mutation_rate: 0.05,
+            growth_per_generation: 256 * 1024,
+        }
+    }
+}
+
+/// A named sequence of backup generations: each generation mutates a fraction of
+/// its predecessor's 4 KB regions **and** appends fresh data, so later
+/// generations share most-but-not-all content with earlier ones and the dataset
+/// grows monotonically — the workload a retention policy expires from the front.
+///
+/// # Example
+///
+/// ```
+/// use sigma_workloads::payload::{generational_payloads, GenerationalPayloadParams};
+///
+/// let gens = generational_payloads(GenerationalPayloadParams {
+///     generations: 3,
+///     initial_size: 128 * 1024,
+///     growth_per_generation: 16 * 1024,
+///     ..GenerationalPayloadParams::default()
+/// });
+/// assert_eq!(gens.len(), 3);
+/// assert_eq!(gens[0].1.len(), 128 * 1024);
+/// assert_eq!(gens[2].1.len(), 128 * 1024 + 2 * 16 * 1024);
+/// ```
+pub fn generational_payloads(params: GenerationalPayloadParams) -> Vec<(String, Vec<u8>)> {
+    const REGION: usize = 4096;
+    let mut rng = DeterministicRng::new(params.seed);
+    let mut current = random_bytes(params.initial_size, params.seed.wrapping_add(1));
+    let mut out = Vec::with_capacity(params.generations);
+    out.push(("generation-0".to_string(), current.clone()));
+    for g in 1..params.generations {
+        let regions = current.len().div_ceil(REGION);
+        for r in 0..regions {
+            if rng.chance(params.mutation_rate) {
+                let start = r * REGION;
+                let end = (start + REGION).min(current.len());
+                let fresh = random_bytes(end - start, rng.next_u64());
+                current[start..end].copy_from_slice(&fresh);
+            }
+        }
+        current.extend_from_slice(&random_bytes(params.growth_per_generation, rng.next_u64()));
+        out.push((format!("generation-{}", g), current.clone()));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +207,55 @@ mod tests {
         });
         assert_eq!(versions[0].1, versions[1].1);
         assert_eq!(versions[1].1, versions[2].1);
+    }
+
+    #[test]
+    fn generational_payloads_grow_and_mostly_overlap() {
+        let gens = generational_payloads(GenerationalPayloadParams {
+            seed: 11,
+            generations: 4,
+            initial_size: 512 * 1024,
+            mutation_rate: 0.05,
+            growth_per_generation: 64 * 1024,
+        });
+        assert_eq!(gens.len(), 4);
+        for (g, (name, data)) in gens.iter().enumerate() {
+            assert_eq!(name, &format!("generation-{}", g));
+            assert_eq!(data.len(), 512 * 1024 + g * 64 * 1024);
+        }
+        // The shared prefix mostly overlaps generation to generation.
+        for pair in gens.windows(2) {
+            let prefix = pair[0].1.len();
+            let same = pair[0]
+                .1
+                .iter()
+                .zip(&pair[1].1[..prefix])
+                .filter(|(a, b)| a == b)
+                .count();
+            assert!(same as f64 / prefix as f64 > 0.85);
+        }
+        // Deterministic.
+        let again = generational_payloads(GenerationalPayloadParams {
+            seed: 11,
+            generations: 4,
+            initial_size: 512 * 1024,
+            mutation_rate: 0.05,
+            growth_per_generation: 64 * 1024,
+        });
+        assert_eq!(gens, again);
+    }
+
+    #[test]
+    fn zero_growth_generational_matches_versioned_shape() {
+        let gens = generational_payloads(GenerationalPayloadParams {
+            seed: 3,
+            generations: 3,
+            initial_size: 64 * 1024,
+            mutation_rate: 0.0,
+            growth_per_generation: 0,
+        });
+        assert_eq!(gens[0].1, gens[1].1);
+        assert_eq!(gens[1].1, gens[2].1);
     }
 
     #[test]

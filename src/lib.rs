@@ -47,8 +47,9 @@ pub use sigma_baselines::{
 };
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
-    Handprint, IngestPipeline, NodeMap, RebalanceReport, Rebalancer, RecoveryReport, SigmaConfig,
-    SigmaError, SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
+    GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap, RebalanceReport, Rebalancer,
+    RecoveryReport, SigmaConfig, SigmaError, SimilarityRouter, StreamBatch, StreamPayload,
+    SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
 pub use sigma_storage::{CrashMode, DiskParams, Journal, JournalRecord, StorageError};

@@ -160,6 +160,109 @@ proptest! {
         clear_artifact("boundary-sweep");
     }
 
+    /// Boundary sweep over a journal that ends in garbage-collection records:
+    /// recovery at every boundary is consistent, survivors stay readable from
+    /// their acknowledgement on, and the final boundary reproduces the post-GC
+    /// state exactly — collected chunks can neither resurrect (physical bytes
+    /// monotonically *decrease* over the GC suffix) nor take survivors with
+    /// them.
+    #[test]
+    fn recovery_at_gc_record_boundaries_converges(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(64usize..1200, 1..4),
+            2..5,
+        ),
+        survivor_mask in 0u64..u64::MAX,
+        threshold in 0.3f64..1.0,
+    ) {
+        let config = SigmaConfig::builder()
+            .super_chunk_size(4 * 1024)
+            .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+            .container_capacity(8 * 1024)
+            .cache_containers(4)
+            .durability(true)
+            .gc_liveness_threshold(threshold)
+            .build()
+            .expect("valid test config");
+        let node = DedupNode::new(0, &config);
+        let journal = node.journal().expect("durable node").clone();
+
+        // Acknowledged ingest: every round flushed.
+        let mut all: Vec<SuperChunk> = Vec::new();
+        for (round_no, round) in rounds.iter().enumerate() {
+            for (sc_no, &chunk_len) in round.iter().enumerate() {
+                let payloads: Vec<Vec<u8>> = (0..1 + chunk_len % 4)
+                    .map(|i| payload(chunk_len, (90_000 + round_no * 1000 + sc_no * 10 + i) as u64))
+                    .collect();
+                let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, 0, payloads);
+                node.process_super_chunk((sc_no % 2) as u64, &sc, &sc.handprint(4)).unwrap();
+                all.push(sc);
+            }
+            node.try_flush().unwrap();
+        }
+        let ingest_end = journal.len_bytes();
+
+        // Retention: a random subset of super-chunks survives; the rest are
+        // "deleted backups" whose chunks become garbage.  Survivor chunks are
+        // marked at the container the index resolves them to — exactly what the
+        // cluster mark phase hands the node.
+        let survivors: Vec<&SuperChunk> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| survivor_mask & (1 << (i % 63)) != 0)
+            .map(|(_, sc)| sc)
+            .collect();
+        let mut live: std::collections::HashMap<
+            sigma_dedupe::storage::ContainerId,
+            std::collections::HashSet<sigma_dedupe::Fingerprint>,
+        > = std::collections::HashMap::new();
+        for sc in &survivors {
+            for d in sc.descriptors() {
+                let loc = node.chunk_location(&d.fingerprint).expect("acked chunk is indexed");
+                live.entry(loc.container).or_default().insert(d.fingerprint);
+            }
+        }
+        node.note_recipe_deleted(0xDEAD);
+        node.sweep_garbage(&live, threshold).unwrap();
+        let physical_after_gc = node.storage_usage();
+
+        let bytes = journal.bytes();
+        let boundaries = journal.frame_boundaries();
+        let mut last_physical: Option<u64> = None;
+        for cut in boundaries.iter().copied().filter(|&b| b >= ingest_end) {
+            save_artifact("gc-boundary-sweep", &bytes[..cut]);
+            let (recovered, report) =
+                DedupNode::recover(0, &config, Arc::new(Journal::from_bytes(bytes[..cut].to_vec())))
+                    .unwrap();
+            prop_assert_eq!(report.bytes_discarded, 0, "cuts are at boundaries");
+            // Survivors are acked before the GC window: readable at every cut.
+            for sc in &survivors {
+                for (i, d) in sc.descriptors().iter().enumerate() {
+                    prop_assert_eq!(
+                        recovered.read_chunk(&d.fingerprint).unwrap(),
+                        sc.payload(i).unwrap().to_vec(),
+                        "live chunk lost at offset {}", cut
+                    );
+                }
+            }
+            // Over the GC suffix physical bytes only ever shrink: a replayed
+            // drop/compact cannot resurrect collected data.
+            let physical = recovered.storage_usage();
+            if let Some(last) = last_physical {
+                prop_assert!(physical <= last, "GC replay must be monotone decreasing");
+            }
+            prop_assert!(physical >= physical_after_gc);
+            last_physical = Some(physical);
+            recovered.verify_consistency().unwrap();
+        }
+        prop_assert_eq!(
+            last_physical.expect("at least the pre-GC boundary exists"),
+            physical_after_gc,
+            "full replay converges to the post-GC state"
+        );
+        clear_artifact("gc-boundary-sweep");
+    }
+
     /// A torn or corrupted tail recovers to the last complete boundary — the
     /// torn suffix is discarded wholesale, never half-applied.
     #[test]
