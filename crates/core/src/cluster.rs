@@ -1006,6 +1006,21 @@ impl DedupCluster {
         Ok(report)
     }
 
+    /// Logical bytes currently accounted to the cluster (routed minus
+    /// deleted) — the cheap entry point the service layer's quota accounting
+    /// reads, without computing a full [`stats`](Self::stats) snapshot.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes_routed.load(Ordering::Relaxed)
+    }
+
+    /// Physical bytes stored across the whole node directory (active nodes
+    /// plus retired nodes still holding containers mid-drain), without
+    /// computing a full [`stats`](Self::stats) snapshot.
+    pub fn physical_bytes(&self) -> u64 {
+        let m = self.membership.read();
+        m.directory.values().map(|n| n.storage_usage()).sum()
+    }
+
     /// Message counters so far.
     pub fn message_stats(&self) -> MessageStats {
         MessageStats {

@@ -26,6 +26,17 @@ use sigma_storage::DiskParams;
 /// assert_eq!(config.handprint_size, 16);
 /// assert_eq!(config.sampling_rate_denominator(), (2 << 20) / 4096 / 16);
 /// ```
+///
+/// # Construction
+///
+/// Prefer [`SigmaConfig::builder`]: its [`build`](SigmaConfigBuilder::build)
+/// runs [`validate`](Self::validate), so an inconsistent combination is
+/// rejected at construction time instead of surfacing as a confusing failure
+/// deep inside ingest.  Mutating the public fields of a bare struct literal
+/// (`SigmaConfig { super_chunk_size: 0, ..Default::default() }`) is
+/// considered deprecated style: it compiles, but nothing validates the result
+/// until a component happens to call `validate` itself.  The fields stay
+/// `pub` for read access and for spread-syntax updates in tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SigmaConfig {
     /// Target super-chunk size in bytes (the routing granularity). Default: 1 MB.

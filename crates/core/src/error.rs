@@ -1,6 +1,94 @@
-//! Error type for the Σ-Dedupe core.
+//! Error type for the Σ-Dedupe core, and its stable service-code mapping.
 
+use serde::{Deserialize, Serialize};
 use sigma_storage::StorageError;
+
+/// Stable, transport-facing status code classifying every [`SigmaError`].
+///
+/// The service layer (`sigma-service`) derives the status of a
+/// `ResponseEnvelope` from [`SigmaError::code`] — one mapping in one place —
+/// so a new error variant only has to pick its class here and every
+/// transport (in-process, framed TCP, future protocols) reports it
+/// consistently.  The numeric values returned by [`wire`](Self::wire) are
+/// part of the wire format and must never be reused or renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceCode {
+    /// The request succeeded.
+    Ok,
+    /// The request itself was malformed (unknown operation, undecodable
+    /// envelope, invalid parameters).
+    InvalidRequest,
+    /// The addressed entity (file, backup session, node) does not exist —
+    /// including "existed, already deleted".
+    NotFound,
+    /// The request is valid but conflicts with the current cluster state
+    /// (e.g. removing the last node).
+    Conflict,
+    /// The caller's credentials are missing, unknown or wrong.
+    Unauthorized,
+    /// A per-tenant budget (quota bytes, rate-limit tokens) is exhausted;
+    /// retrying later or freeing space may succeed.
+    ResourceExhausted,
+    /// An internal invariant failed (missing chunk, storage corruption);
+    /// retrying will not help.
+    Internal,
+    /// The cluster is temporarily unable to serve the request (crashed node
+    /// awaiting recovery, container mid-migration); retrying may succeed.
+    Unavailable,
+}
+
+impl ServiceCode {
+    /// The stable numeric form used by wire codecs (HTTP-status-shaped, so
+    /// logs read naturally).
+    pub fn wire(self) -> u16 {
+        match self {
+            ServiceCode::Ok => 0,
+            ServiceCode::InvalidRequest => 400,
+            ServiceCode::Unauthorized => 401,
+            ServiceCode::NotFound => 404,
+            ServiceCode::Conflict => 409,
+            ServiceCode::ResourceExhausted => 429,
+            ServiceCode::Internal => 500,
+            ServiceCode::Unavailable => 503,
+        }
+    }
+
+    /// Decodes a [`wire`](Self::wire) value; `None` for unknown numbers.
+    pub fn from_wire(value: u16) -> Option<ServiceCode> {
+        Some(match value {
+            0 => ServiceCode::Ok,
+            400 => ServiceCode::InvalidRequest,
+            401 => ServiceCode::Unauthorized,
+            404 => ServiceCode::NotFound,
+            409 => ServiceCode::Conflict,
+            429 => ServiceCode::ResourceExhausted,
+            500 => ServiceCode::Internal,
+            503 => ServiceCode::Unavailable,
+            _ => return None,
+        })
+    }
+
+    /// `true` only for [`ServiceCode::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == ServiceCode::Ok
+    }
+}
+
+impl std::fmt::Display for ServiceCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ServiceCode::Ok => "ok",
+            ServiceCode::InvalidRequest => "invalid-request",
+            ServiceCode::NotFound => "not-found",
+            ServiceCode::Conflict => "conflict",
+            ServiceCode::Unauthorized => "unauthorized",
+            ServiceCode::ResourceExhausted => "resource-exhausted",
+            ServiceCode::Internal => "internal",
+            ServiceCode::Unavailable => "unavailable",
+        };
+        f.write_str(name)
+    }
+}
 
 /// Errors produced by backup, deduplication and restore operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +132,55 @@ pub enum SigmaError {
     },
     /// Configuration rejected at validation time.
     InvalidConfig(String),
+    /// The service layer rejected the request's credentials (unknown tenant,
+    /// missing or mismatched token).
+    Unauthorized {
+        /// Tenant named by the request.
+        tenant: String,
+    },
+    /// The tenant's logical-bytes quota cannot cover the request.
+    QuotaExceeded {
+        /// Tenant whose budget is exhausted.
+        tenant: String,
+        /// Logical bytes the request asked to ingest.
+        requested_bytes: u64,
+        /// Logical bytes still available in the tenant's budget.
+        remaining_bytes: u64,
+    },
+    /// The tenant's request rate exceeded its token bucket.
+    RateLimited {
+        /// Tenant that ran out of tokens.
+        tenant: String,
+        /// Milliseconds until the bucket refills enough for one request
+        /// (0 when the bucket never refills).
+        retry_after_ms: u64,
+    },
+}
+
+impl SigmaError {
+    /// The stable [`ServiceCode`] class of this error — the single place
+    /// transport status is derived from (response envelopes call this instead
+    /// of matching variants per call site).
+    pub fn code(&self) -> ServiceCode {
+        match self {
+            SigmaError::Storage(StorageError::Crashed) => ServiceCode::Unavailable,
+            SigmaError::Storage(_) => ServiceCode::Internal,
+            SigmaError::FileNotFound(_) | SigmaError::BackupNotFound(_) => ServiceCode::NotFound,
+            SigmaError::ChunkMissing { .. } | SigmaError::PayloadUnavailable { .. } => {
+                ServiceCode::Internal
+            }
+            SigmaError::ChunkMigrated { .. } => ServiceCode::Unavailable,
+            SigmaError::UnknownNode(_) => ServiceCode::NotFound,
+            SigmaError::ClusterTooSmall => ServiceCode::Conflict,
+            SigmaError::FileBoundariesRequired { .. } | SigmaError::InvalidConfig(_) => {
+                ServiceCode::InvalidRequest
+            }
+            SigmaError::Unauthorized { .. } => ServiceCode::Unauthorized,
+            SigmaError::QuotaExceeded { .. } | SigmaError::RateLimited { .. } => {
+                ServiceCode::ResourceExhausted
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for SigmaError {
@@ -75,6 +212,26 @@ impl std::fmt::Display for SigmaError {
                 router
             ),
             SigmaError::InvalidConfig(msg) => write!(f, "invalid configuration: {}", msg),
+            SigmaError::Unauthorized { tenant } => {
+                write!(f, "unauthorized request for tenant {:?}", tenant)
+            }
+            SigmaError::QuotaExceeded {
+                tenant,
+                requested_bytes,
+                remaining_bytes,
+            } => write!(
+                f,
+                "tenant {:?} quota exceeded: requested {} bytes, {} remaining",
+                tenant, requested_bytes, remaining_bytes
+            ),
+            SigmaError::RateLimited {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {:?} rate limited (retry after {} ms)",
+                tenant, retry_after_ms
+            ),
         }
     }
 }
@@ -111,5 +268,113 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SigmaError>();
+    }
+
+    #[test]
+    fn every_variant_maps_to_one_service_code() {
+        let cases: Vec<(SigmaError, ServiceCode)> = vec![
+            (
+                SigmaError::Storage(StorageError::Crashed),
+                ServiceCode::Unavailable,
+            ),
+            (
+                SigmaError::Storage(StorageError::ContainerNotFound(ContainerId::new(1))),
+                ServiceCode::Internal,
+            ),
+            (SigmaError::FileNotFound(9), ServiceCode::NotFound),
+            (SigmaError::BackupNotFound(9), ServiceCode::NotFound),
+            (
+                SigmaError::ChunkMissing {
+                    node: 0,
+                    fingerprint: "aa".into(),
+                },
+                ServiceCode::Internal,
+            ),
+            (
+                SigmaError::PayloadUnavailable {
+                    fingerprint: "aa".into(),
+                },
+                ServiceCode::Internal,
+            ),
+            (
+                SigmaError::ChunkMigrated {
+                    fingerprint: "aa".into(),
+                    node: 1,
+                },
+                ServiceCode::Unavailable,
+            ),
+            (SigmaError::UnknownNode(4), ServiceCode::NotFound),
+            (SigmaError::ClusterTooSmall, ServiceCode::Conflict),
+            (
+                SigmaError::FileBoundariesRequired { router: "x".into() },
+                ServiceCode::InvalidRequest,
+            ),
+            (
+                SigmaError::InvalidConfig("bad".into()),
+                ServiceCode::InvalidRequest,
+            ),
+            (
+                SigmaError::Unauthorized { tenant: "t".into() },
+                ServiceCode::Unauthorized,
+            ),
+            (
+                SigmaError::QuotaExceeded {
+                    tenant: "t".into(),
+                    requested_bytes: 10,
+                    remaining_bytes: 2,
+                },
+                ServiceCode::ResourceExhausted,
+            ),
+            (
+                SigmaError::RateLimited {
+                    tenant: "t".into(),
+                    retry_after_ms: 50,
+                },
+                ServiceCode::ResourceExhausted,
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "wrong class for {:?}", err);
+        }
+    }
+
+    #[test]
+    fn service_code_wire_round_trips() {
+        for code in [
+            ServiceCode::Ok,
+            ServiceCode::InvalidRequest,
+            ServiceCode::NotFound,
+            ServiceCode::Conflict,
+            ServiceCode::Unauthorized,
+            ServiceCode::ResourceExhausted,
+            ServiceCode::Internal,
+            ServiceCode::Unavailable,
+        ] {
+            assert_eq!(ServiceCode::from_wire(code.wire()), Some(code));
+            assert_eq!(code.is_ok(), code == ServiceCode::Ok);
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ServiceCode::from_wire(999), None);
+        assert_eq!(ServiceCode::from_wire(1), None);
+    }
+
+    #[test]
+    fn new_service_variants_display_their_context() {
+        let e = SigmaError::Unauthorized {
+            tenant: "acme".into(),
+        };
+        assert!(e.to_string().contains("acme"));
+        let e = SigmaError::QuotaExceeded {
+            tenant: "acme".into(),
+            requested_bytes: 2048,
+            remaining_bytes: 100,
+        };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("100"));
+        let e = SigmaError::RateLimited {
+            tenant: "acme".into(),
+            retry_after_ms: 750,
+        };
+        assert!(e.to_string().contains("750"));
     }
 }

@@ -73,7 +73,7 @@ pub use client::{BackupClient, FileBackupReport};
 pub use cluster::{BatchReceipts, ClusterStats, DedupCluster, GcReport, MessageStats, StreamBatch};
 pub use config::{SigmaConfig, SigmaConfigBuilder, MAX_PARALLELISM};
 pub use director::{BackupSession, Director, FileId, FileRecipe, RecipeEntry};
-pub use error::SigmaError;
+pub use error::{ServiceCode, SigmaError};
 pub use handprint::{jaccard, Handprint};
 pub use membership::{MoveReceipt, NodeMap, RebalanceReport, Rebalancer};
 pub use node::{DedupNode, NodeGcReport, NodeStats, RecoveryReport, SuperChunkReceipt};

@@ -14,14 +14,18 @@
 //!
 //! The crate also provides small reporting helpers ([`report::TextTable`],
 //! [`report::csv_line`]) used by the benches and examples to print paper-style
-//! tables.
+//! tables, wall-clock throughput measurement ([`Stopwatch`], [`Throughput`]),
+//! and lock-light per-operation service counters ([`MetricsRegistry`],
+//! [`OpCounters`]) fed by the service layer's request-logging middleware.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counters;
 pub mod report;
 mod throughput;
 
+pub use counters::{MetricsRegistry, OpCounters, OpSnapshot};
 pub use throughput::{Stopwatch, Throughput};
 
 use serde::{Deserialize, Serialize};

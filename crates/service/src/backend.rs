@@ -1,0 +1,512 @@
+//! The [`BackupService`] backend: the innermost handler that owns the
+//! [`DedupCluster`] and executes envelope operations against it.
+
+use crate::middleware::ServiceResult;
+use crate::pipeline::Backend;
+use crate::{Operation, RequestEnvelope, ResponseEnvelope};
+use parking_lot::Mutex;
+use sigma_core::{BackupClient, DedupCluster, SigmaError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Response-metadata key: the file ID a backup assigned (use it to restore).
+pub const FILE_ID_KEY: &str = "file_id";
+/// Response-metadata key: the backup session the file was registered under.
+pub const SESSION_ID_KEY: &str = "session_id";
+/// Response-metadata key: logical bytes of the operation's subject.
+pub const LOGICAL_BYTES_KEY: &str = "logical_bytes";
+/// Response-metadata key: bytes a backup actually had to transfer (unique).
+pub const TRANSFERRED_BYTES_KEY: &str = "transferred_bytes";
+/// Response-metadata key: chunks the backup was partitioned into.
+pub const CHUNKS_KEY: &str = "chunks";
+/// Response-metadata key: chunks found to be duplicates cluster-wide.
+pub const DUPLICATE_CHUNKS_KEY: &str = "duplicate_chunks";
+/// Response-metadata key: logical bytes a delete released (the quota
+/// middleware credits this against the tenant's budget).
+pub const FREED_BYTES_KEY: &str = "freed_bytes";
+/// Response-metadata key: physical bytes a garbage collection reclaimed.
+pub const BYTES_RECLAIMED_KEY: &str = "bytes_reclaimed";
+
+/// Base for service-allocated stream IDs, far above the IDs hand-picked by
+/// library users and simulations sharing the cluster.
+const STREAM_ID_BASE: u64 = 1 << 32;
+
+/// One tenant's backup session in one generation.
+#[derive(Debug)]
+struct SessionEntry {
+    tenant: String,
+    generation: u64,
+    files: Vec<u64>,
+}
+
+/// Who may restore or delete a file.
+#[derive(Debug)]
+struct FileOwner {
+    tenant: String,
+    session_id: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// One lazily-created client (= one open session) per tenant × generation.
+    clients: HashMap<(String, u64), Arc<BackupClient>>,
+    sessions: HashMap<u64, SessionEntry>,
+    owners: HashMap<u64, FileOwner>,
+    next_stream: u64,
+}
+
+/// The production [`Backend`]: executes [`Operation`]s against a
+/// [`DedupCluster`] it owns, keyed by tenant.
+///
+/// Ownership is enforced at the service boundary: a tenant can only restore
+/// or delete files and sessions it created *through this service*, and a
+/// cross-tenant (or unknown) ID is answered with the same `NotFound` as a
+/// genuinely absent one, so IDs cannot be probed across tenants.
+/// `CollectGarbage` and `Stats` are cluster-scoped operations available to
+/// any authenticated tenant; per-tenant fairness and isolation invariants
+/// under concurrent multi-tenant load are the next roadmap item, not this
+/// layer's job.
+pub struct BackupService {
+    cluster: Arc<DedupCluster>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for BackupService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BackupService")
+            .field("sessions", &inner.sessions.len())
+            .field("files", &inner.owners.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BackupService {
+    /// Creates a service owning `cluster`.
+    pub fn new(cluster: Arc<DedupCluster>) -> Self {
+        BackupService {
+            cluster,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The cluster behind the service (stats, direct experimentation).
+    pub fn cluster(&self) -> &Arc<DedupCluster> {
+        &self.cluster
+    }
+
+    /// The client for `(tenant, generation)`, created (with a fresh session)
+    /// on first use.
+    fn client_for(&self, tenant: &str, generation: u64) -> Arc<BackupClient> {
+        let mut inner = self.inner.lock();
+        let key = (tenant.to_string(), generation);
+        if let Some(client) = inner.clients.get(&key) {
+            return client.clone();
+        }
+        let stream_id = STREAM_ID_BASE + inner.next_stream;
+        inner.next_stream += 1;
+        let client = Arc::new(BackupClient::with_generation(
+            self.cluster.clone(),
+            stream_id,
+            generation,
+        ));
+        inner.sessions.insert(
+            client.session_id(),
+            SessionEntry {
+                tenant: tenant.to_string(),
+                generation,
+                files: Vec::new(),
+            },
+        );
+        inner.clients.insert(key, client.clone());
+        client
+    }
+
+    fn backup(&self, req: &RequestEnvelope, file_name: &str, generation: u64) -> ServiceResult {
+        let client = self.client_for(&req.tenant, generation);
+        let report = client.backup_bytes(file_name, &req.payload)?;
+        let mut inner = self.inner.lock();
+        inner.owners.insert(
+            report.file_id,
+            FileOwner {
+                tenant: req.tenant.clone(),
+                session_id: client.session_id(),
+            },
+        );
+        if let Some(session) = inner.sessions.get_mut(&client.session_id()) {
+            session.files.push(report.file_id);
+        }
+        Ok(ResponseEnvelope::ok(req.request_id)
+            .with_metadata(FILE_ID_KEY, report.file_id.to_string())
+            .with_metadata(SESSION_ID_KEY, client.session_id().to_string())
+            .with_metadata(LOGICAL_BYTES_KEY, report.logical_bytes.to_string())
+            .with_metadata(TRANSFERRED_BYTES_KEY, report.transferred_bytes.to_string())
+            .with_metadata(CHUNKS_KEY, report.chunks.to_string())
+            .with_metadata(DUPLICATE_CHUNKS_KEY, report.duplicate_chunks.to_string()))
+    }
+
+    /// Checks that `file_id` exists and belongs to `tenant`; answers
+    /// cross-tenant probes with the same error as absent files.
+    fn authorize_file(&self, tenant: &str, file_id: u64) -> Result<(), SigmaError> {
+        let inner = self.inner.lock();
+        match inner.owners.get(&file_id) {
+            Some(owner) if owner.tenant == tenant => Ok(()),
+            _ => Err(SigmaError::FileNotFound(file_id)),
+        }
+    }
+
+    fn restore(&self, req: &RequestEnvelope, file_id: u64) -> ServiceResult {
+        self.authorize_file(&req.tenant, file_id)?;
+        let data = self.cluster.restore_file(file_id)?;
+        Ok(ResponseEnvelope::ok(req.request_id)
+            .with_metadata(LOGICAL_BYTES_KEY, data.len().to_string())
+            .with_payload(data))
+    }
+
+    fn delete_file(&self, req: &RequestEnvelope, file_id: u64) -> ServiceResult {
+        self.authorize_file(&req.tenant, file_id)?;
+        let freed = self.cluster.delete_file(file_id)?;
+        let mut inner = self.inner.lock();
+        if let Some(owner) = inner.owners.remove(&file_id) {
+            if let Some(session) = inner.sessions.get_mut(&owner.session_id) {
+                session.files.retain(|&f| f != file_id);
+            }
+        }
+        Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
+    }
+
+    /// Deletes one owned session from the cluster and the service maps.
+    /// Caller must have verified ownership.
+    fn delete_session(&self, session_id: u64) -> Result<u64, SigmaError> {
+        let freed = self.cluster.delete_backup(session_id)?;
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.sessions.remove(&session_id) {
+            for file in &entry.files {
+                inner.owners.remove(file);
+            }
+            inner.clients.remove(&(entry.tenant, entry.generation));
+        }
+        Ok(freed)
+    }
+
+    fn delete_backup(&self, req: &RequestEnvelope, session_id: u64) -> ServiceResult {
+        let owned = {
+            let inner = self.inner.lock();
+            matches!(inner.sessions.get(&session_id), Some(s) if s.tenant == req.tenant)
+        };
+        if !owned {
+            return Err(SigmaError::BackupNotFound(session_id));
+        }
+        let freed = self.delete_session(session_id)?;
+        Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
+    }
+
+    fn delete_generation(&self, req: &RequestEnvelope, generation: u64) -> ServiceResult {
+        // Only the *tenant's* sessions in this generation are expired — the
+        // generation is a retention unit per tenant at this layer, even
+        // though the cluster could expire it globally.
+        let victims: Vec<u64> = {
+            let inner = self.inner.lock();
+            inner
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.tenant == req.tenant && s.generation == generation)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        let mut freed = 0u64;
+        for session_id in victims {
+            freed += self.delete_session(session_id)?;
+        }
+        Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
+    }
+
+    fn collect_garbage(&self, req: &RequestEnvelope) -> ServiceResult {
+        let report = self.cluster.collect_garbage()?;
+        Ok(ResponseEnvelope::ok(req.request_id)
+            .with_metadata(BYTES_RECLAIMED_KEY, report.bytes_reclaimed.to_string())
+            .with_metadata("containers_dropped", report.containers_dropped.to_string())
+            .with_metadata(
+                "containers_compacted",
+                report.containers_compacted.to_string(),
+            )
+            .with_metadata("live_bytes", report.live_bytes.to_string()))
+    }
+
+    fn stats(&self, req: &RequestEnvelope) -> ServiceResult {
+        let stats = self.cluster.stats();
+        let tenant_files = {
+            let inner = self.inner.lock();
+            inner
+                .owners
+                .values()
+                .filter(|o| o.tenant == req.tenant)
+                .count()
+        };
+        Ok(ResponseEnvelope::ok(req.request_id)
+            .with_metadata("router", stats.router.clone())
+            .with_metadata("node_count", stats.node_count.to_string())
+            .with_metadata(LOGICAL_BYTES_KEY, stats.logical_bytes.to_string())
+            .with_metadata("physical_bytes", stats.physical_bytes.to_string())
+            .with_metadata("dedup_ratio", format!("{:.4}", stats.dedup_ratio))
+            .with_metadata("usage_skew", format!("{:.4}", stats.usage_skew))
+            .with_metadata("tenant_files", tenant_files.to_string()))
+    }
+}
+
+impl Backend for BackupService {
+    fn call(&self, req: RequestEnvelope) -> ServiceResult {
+        match req.operation.clone() {
+            Operation::Backup {
+                file_name,
+                generation,
+            } => self.backup(&req, &file_name, generation),
+            Operation::Restore { file_id } => self.restore(&req, file_id),
+            Operation::DeleteFile { file_id } => self.delete_file(&req, file_id),
+            Operation::DeleteBackup { session_id } => self.delete_backup(&req, session_id),
+            Operation::DeleteGeneration { generation } => self.delete_generation(&req, generation),
+            Operation::CollectGarbage => self.collect_garbage(&req),
+            Operation::Stats => self.stats(&req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_core::{ServiceCode, SigmaConfig};
+
+    fn service() -> BackupService {
+        let config = SigmaConfig::builder()
+            .super_chunk_size(64 * 1024)
+            .chunker(sigma_chunking_params())
+            .build()
+            .unwrap();
+        BackupService::new(Arc::new(DedupCluster::with_similarity_router(2, config)))
+    }
+
+    fn sigma_chunking_params() -> sigma_chunking::ChunkerParams {
+        sigma_chunking::ChunkerParams::fixed(4096)
+    }
+
+    fn data(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn backup_req(id: u64, tenant: &str, name: &str, payload: Vec<u8>) -> RequestEnvelope {
+        RequestEnvelope::new(
+            id,
+            tenant,
+            Operation::Backup {
+                file_name: name.into(),
+                generation: 0,
+            },
+        )
+        .with_payload(payload)
+    }
+
+    #[test]
+    fn backup_restore_round_trip() {
+        let svc = service();
+        let payload = data(200_000, 1);
+        let resp = svc
+            .call(backup_req(1, "acme", "db.bin", payload.clone()))
+            .unwrap();
+        assert!(resp.is_ok());
+        let file_id = resp.metadata_u64(FILE_ID_KEY).unwrap();
+        assert_eq!(
+            resp.metadata_u64(LOGICAL_BYTES_KEY),
+            Some(payload.len() as u64)
+        );
+        let restored = svc
+            .call(RequestEnvelope::new(
+                2,
+                "acme",
+                Operation::Restore { file_id },
+            ))
+            .unwrap();
+        assert_eq!(restored.payload, payload, "byte-identical restore");
+    }
+
+    #[test]
+    fn cross_tenant_access_reads_as_not_found() {
+        let svc = service();
+        let resp = svc
+            .call(backup_req(1, "acme", "f", data(50_000, 2)))
+            .unwrap();
+        let file_id = resp.metadata_u64(FILE_ID_KEY).unwrap();
+        let session_id = resp.metadata_u64(SESSION_ID_KEY).unwrap();
+        // Another tenant cannot restore, delete the file, or delete the session.
+        let err = svc
+            .call(RequestEnvelope::new(
+                2,
+                "evil",
+                Operation::Restore { file_id },
+            ))
+            .unwrap_err();
+        assert_eq!(err.code(), ServiceCode::NotFound);
+        let err = svc
+            .call(RequestEnvelope::new(
+                3,
+                "evil",
+                Operation::DeleteFile { file_id },
+            ))
+            .unwrap_err();
+        assert_eq!(err.code(), ServiceCode::NotFound);
+        let err = svc
+            .call(RequestEnvelope::new(
+                4,
+                "evil",
+                Operation::DeleteBackup { session_id },
+            ))
+            .unwrap_err();
+        assert_eq!(err.code(), ServiceCode::NotFound);
+        // The rightful owner still can.
+        assert!(svc
+            .call(RequestEnvelope::new(
+                5,
+                "acme",
+                Operation::Restore { file_id }
+            ))
+            .is_ok());
+    }
+
+    #[test]
+    fn delete_file_frees_logical_bytes() {
+        let svc = service();
+        let payload = data(120_000, 3);
+        let resp = svc
+            .call(backup_req(1, "acme", "f", payload.clone()))
+            .unwrap();
+        let file_id = resp.metadata_u64(FILE_ID_KEY).unwrap();
+        let del = svc
+            .call(RequestEnvelope::new(
+                2,
+                "acme",
+                Operation::DeleteFile { file_id },
+            ))
+            .unwrap();
+        assert_eq!(
+            del.metadata_u64(FREED_BYTES_KEY),
+            Some(payload.len() as u64)
+        );
+        // Double delete is NotFound (ownership entry is gone).
+        let err = svc
+            .call(RequestEnvelope::new(
+                3,
+                "acme",
+                Operation::DeleteFile { file_id },
+            ))
+            .unwrap_err();
+        assert_eq!(err.code(), ServiceCode::NotFound);
+    }
+
+    #[test]
+    fn delete_generation_expires_only_that_tenant() {
+        let svc = service();
+        let a = data(80_000, 4);
+        let b = data(80_000, 5);
+        svc.call(backup_req(1, "acme", "a", a)).unwrap();
+        let other = svc.call(backup_req(2, "globex", "b", b.clone())).unwrap();
+        let freed = svc
+            .call(RequestEnvelope::new(
+                3,
+                "acme",
+                Operation::DeleteGeneration { generation: 0 },
+            ))
+            .unwrap();
+        assert_eq!(freed.metadata_u64(FREED_BYTES_KEY), Some(80_000));
+        // globex's file in the same generation survives.
+        let file_id = other.metadata_u64(FILE_ID_KEY).unwrap();
+        let restored = svc
+            .call(RequestEnvelope::new(
+                4,
+                "globex",
+                Operation::Restore { file_id },
+            ))
+            .unwrap();
+        assert_eq!(restored.payload, b);
+        // Expiring an empty generation is Ok(0) — idempotent retention loops.
+        let again = svc
+            .call(RequestEnvelope::new(
+                5,
+                "acme",
+                Operation::DeleteGeneration { generation: 0 },
+            ))
+            .unwrap();
+        assert_eq!(again.metadata_u64(FREED_BYTES_KEY), Some(0));
+    }
+
+    #[test]
+    fn gc_after_delete_reclaims_bytes() {
+        let svc = service();
+        let resp = svc
+            .call(backup_req(1, "acme", "f", data(300_000, 6)))
+            .unwrap();
+        let file_id = resp.metadata_u64(FILE_ID_KEY).unwrap();
+        svc.cluster().flush();
+        svc.call(RequestEnvelope::new(
+            2,
+            "acme",
+            Operation::DeleteFile { file_id },
+        ))
+        .unwrap();
+        let gc = svc
+            .call(RequestEnvelope::new(3, "acme", Operation::CollectGarbage))
+            .unwrap();
+        assert!(gc.metadata_u64(BYTES_RECLAIMED_KEY).unwrap() > 0);
+    }
+
+    #[test]
+    fn stats_reports_cluster_and_tenant_figures() {
+        let svc = service();
+        svc.call(backup_req(1, "acme", "f", data(64_000, 7)))
+            .unwrap();
+        let stats = svc
+            .call(RequestEnvelope::new(2, "acme", Operation::Stats))
+            .unwrap();
+        assert_eq!(stats.metadata_u64("node_count"), Some(2));
+        assert_eq!(stats.metadata_u64(LOGICAL_BYTES_KEY), Some(64_000));
+        assert_eq!(stats.metadata_u64("tenant_files"), Some(1));
+        assert!(stats.metadata.contains_key("dedup_ratio"));
+    }
+
+    #[test]
+    fn sessions_are_per_tenant_and_generation() {
+        let svc = service();
+        let a0 = svc
+            .call(backup_req(1, "acme", "a", data(8_000, 8)))
+            .unwrap();
+        let a0b = svc
+            .call(backup_req(2, "acme", "b", data(8_000, 9)))
+            .unwrap();
+        let a1 = svc
+            .call(
+                RequestEnvelope::new(
+                    3,
+                    "acme",
+                    Operation::Backup {
+                        file_name: "c".into(),
+                        generation: 1,
+                    },
+                )
+                .with_payload(data(8_000, 10)),
+            )
+            .unwrap();
+        let g = svc
+            .call(backup_req(4, "globex", "d", data(8_000, 11)))
+            .unwrap();
+        let s = |r: &ResponseEnvelope| r.metadata_u64(SESSION_ID_KEY).unwrap();
+        assert_eq!(s(&a0), s(&a0b), "same tenant+generation shares a session");
+        assert_ne!(s(&a0), s(&a1), "generations get their own session");
+        assert_ne!(s(&a0), s(&g), "tenants get their own session");
+    }
+}

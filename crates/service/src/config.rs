@@ -1,0 +1,318 @@
+//! Config-driven middleware stacking: describe the stack as data, build it
+//! with [`ServiceConfig::build`].
+//!
+//! The format is a strict subset of TOML (sections, `key = value` with
+//! quoted strings, integers, floats and booleans, `#` comments) parsed by
+//! hand because the build environment vendors no TOML crate.  Unknown
+//! sections and keys are hard errors — a typo must not silently disable an
+//! auth layer.
+//!
+//! ```toml
+//! [auth.tokens]
+//! acme = "s3cret"
+//!
+//! [quota.logical_bytes]
+//! acme = 1073741824
+//!
+//! [rate_limit]
+//! capacity = 100
+//! refill_per_sec = 50.0
+//!
+//! [logging]
+//! enabled = true
+//! ```
+
+use crate::builder::{ServiceBuilder, ServiceStack};
+use crate::middleware::{RateLimit, TenantQuota, TokenAuth};
+use sigma_core::{DedupCluster, SigmaError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Token-bucket parameters of the rate-limit layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Burst capacity (tokens per tenant bucket).
+    pub capacity: u64,
+    /// Refill rate in tokens per second (`0.0` = hard cap).
+    pub refill_per_sec: f64,
+}
+
+/// A declarative description of the middleware stack.
+///
+/// Layers whose section is absent are omitted from the stack; present layers
+/// are assembled in the canonical order auth → quota → rate-limit → logging.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceConfig {
+    /// Per-tenant bearer secrets; non-empty ⇒ auth layer.
+    pub auth_tokens: BTreeMap<String, String>,
+    /// Per-tenant logical-bytes budgets; non-empty ⇒ quota layer.
+    pub quotas: BTreeMap<String, u64>,
+    /// Rate-limit parameters; `Some` ⇒ rate-limit layer.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Whether to stack the request-logging/metrics layer.
+    pub logging: bool,
+}
+
+impl ServiceConfig {
+    /// Parses the TOML-subset text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::InvalidConfig`] naming the offending line for
+    /// syntax errors, unknown sections/keys, and ill-typed values.
+    pub fn parse(text: &str) -> Result<ServiceConfig, SigmaError> {
+        let mut config = ServiceConfig::default();
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "auth.tokens" | "quota.logical_bytes" | "rate_limit" | "logging" => {}
+                    other => {
+                        return Err(invalid(lineno, &format!("unknown section [{}]", other)));
+                    }
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| invalid(lineno, "expected `key = value`"))?;
+            let key = unquote(key.trim());
+            let value = value.trim();
+            match section.as_str() {
+                "auth.tokens" => {
+                    let token = parse_string(value)
+                        .ok_or_else(|| invalid(lineno, "auth token must be a quoted string"))?;
+                    config.auth_tokens.insert(key, token);
+                }
+                "quota.logical_bytes" => {
+                    let bytes: u64 = value
+                        .parse()
+                        .map_err(|_| invalid(lineno, "quota must be an integer byte count"))?;
+                    config.quotas.insert(key, bytes);
+                }
+                "rate_limit" => {
+                    let limit = config.rate_limit.get_or_insert(RateLimitConfig {
+                        capacity: 0,
+                        refill_per_sec: 0.0,
+                    });
+                    match key.as_str() {
+                        "capacity" => {
+                            limit.capacity = value
+                                .parse()
+                                .map_err(|_| invalid(lineno, "capacity must be an integer"))?;
+                        }
+                        "refill_per_sec" => {
+                            let rate: f64 = value
+                                .parse()
+                                .map_err(|_| invalid(lineno, "refill_per_sec must be a number"))?;
+                            if !rate.is_finite() || rate < 0.0 {
+                                return Err(invalid(
+                                    lineno,
+                                    "refill_per_sec must be finite and non-negative",
+                                ));
+                            }
+                            limit.refill_per_sec = rate;
+                        }
+                        other => {
+                            return Err(invalid(
+                                lineno,
+                                &format!("unknown rate_limit key `{}`", other),
+                            ));
+                        }
+                    }
+                }
+                "logging" => match key.as_str() {
+                    "enabled" => {
+                        config.logging = match value {
+                            "true" => true,
+                            "false" => false,
+                            _ => return Err(invalid(lineno, "enabled must be true or false")),
+                        };
+                    }
+                    other => {
+                        return Err(invalid(lineno, &format!("unknown logging key `{}`", other)));
+                    }
+                },
+                "" => return Err(invalid(lineno, "key outside any section")),
+                _ => unreachable!("sections are validated on entry"),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Converts the description into a [`ServiceBuilder`] with the layers in
+    /// canonical order.
+    pub fn into_builder(self) -> ServiceBuilder {
+        let mut builder = ServiceBuilder::new();
+        if !self.auth_tokens.is_empty() {
+            let mut auth = TokenAuth::new();
+            for (tenant, token) in self.auth_tokens {
+                auth = auth.tenant(tenant, token);
+            }
+            builder = builder.auth(auth);
+        }
+        if !self.quotas.is_empty() {
+            let mut quota = TenantQuota::new();
+            for (tenant, bytes) in self.quotas {
+                quota = quota.budget(tenant, bytes);
+            }
+            builder = builder.quota(quota);
+        }
+        if let Some(limit) = self.rate_limit {
+            builder = builder.rate_limit(RateLimit::new(limit.capacity, limit.refill_per_sec));
+        }
+        if self.logging {
+            builder = builder.logging();
+        }
+        builder
+    }
+
+    /// Parses and assembles in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceConfig::parse`] errors.
+    pub fn build(text: &str, cluster: Arc<DedupCluster>) -> Result<ServiceStack, SigmaError> {
+        Ok(ServiceConfig::parse(text)?.into_builder().build(cluster))
+    }
+}
+
+fn invalid(lineno: usize, msg: &str) -> SigmaError {
+    SigmaError::InvalidConfig(format!("service config line {}: {}", lineno + 1, msg))
+}
+
+/// Drops a trailing `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Accepts both bare and quoted keys.
+fn unquote(key: &str) -> String {
+    parse_string(key).unwrap_or_else(|| key.to_string())
+}
+
+/// `Some(contents)` for a `"quoted string"`, `None` otherwise.
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    // The subset deliberately has no escape sequences; a stray quote inside
+    // would have unbalanced the strip above.
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operation, RequestEnvelope};
+    use sigma_core::{ServiceCode, SigmaConfig};
+
+    const EXAMPLE: &str = r#"
+# The reference stack.
+[auth.tokens]
+acme = "s3cret"      # inline comment
+"dash-tenant" = "t2"
+
+[quota.logical_bytes]
+acme = 1048576
+
+[rate_limit]
+capacity = 10
+refill_per_sec = 5.0
+
+[logging]
+enabled = true
+"#;
+
+    #[test]
+    fn parses_the_reference_config() {
+        let c = ServiceConfig::parse(EXAMPLE).unwrap();
+        assert_eq!(c.auth_tokens["acme"], "s3cret");
+        assert_eq!(c.auth_tokens["dash-tenant"], "t2");
+        assert_eq!(c.quotas["acme"], 1048576);
+        assert_eq!(
+            c.rate_limit,
+            Some(RateLimitConfig {
+                capacity: 10,
+                refill_per_sec: 5.0
+            })
+        );
+        assert!(c.logging);
+    }
+
+    #[test]
+    fn builds_the_canonical_stack_order() {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(
+            2,
+            SigmaConfig::default(),
+        ));
+        let stack = ServiceConfig::build(EXAMPLE, cluster).unwrap();
+        assert_eq!(
+            stack.middleware_names(),
+            vec!["auth", "quota", "rate-limit", "logging"]
+        );
+        // And it actually enforces: no token ⇒ unauthorized.
+        let resp = stack.call(RequestEnvelope::new(1, "acme", Operation::Stats));
+        assert_eq!(resp.code, ServiceCode::Unauthorized);
+    }
+
+    #[test]
+    fn absent_sections_omit_layers() {
+        let stack_desc = ServiceConfig::parse("[logging]\nenabled = true\n").unwrap();
+        assert!(stack_desc.auth_tokens.is_empty());
+        assert!(stack_desc.rate_limit.is_none());
+        let cluster = Arc::new(DedupCluster::with_similarity_router(
+            2,
+            SigmaConfig::default(),
+        ));
+        let stack = stack_desc.into_builder().build(cluster);
+        assert_eq!(stack.middleware_names(), vec!["logging"]);
+        let empty = ServiceConfig::parse("").unwrap();
+        assert_eq!(empty, ServiceConfig::default());
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        for (text, needle) in [
+            ("[surprise]\n", "unknown section"),
+            ("[auth.tokens]\nacme = 42\n", "quoted string"),
+            ("[quota.logical_bytes]\nacme = \"many\"\n", "integer"),
+            ("[rate_limit]\nburst = 5\n", "unknown rate_limit key"),
+            ("[rate_limit]\nrefill_per_sec = -1.0\n", "non-negative"),
+            ("[rate_limit]\nrefill_per_sec = inf\n", "non-negative"),
+            ("[logging]\nenabled = yes\n", "true or false"),
+            ("stray = 1\n", "outside any section"),
+            ("[logging]\nnonsense\n", "key = value"),
+        ] {
+            let err = ServiceConfig::parse(text).unwrap_err();
+            match &err {
+                SigmaError::InvalidConfig(msg) => {
+                    assert!(msg.contains("line"), "{}", msg);
+                    assert!(msg.contains(needle), "`{}` missing from `{}`", needle, msg);
+                }
+                other => panic!("expected InvalidConfig, got {:?}", other),
+            }
+            assert_eq!(err.code(), ServiceCode::InvalidRequest);
+        }
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let c = ServiceConfig::parse("[auth.tokens]\nacme = \"se#ret\"\n").unwrap();
+        assert_eq!(c.auth_tokens["acme"], "se#ret");
+    }
+}

@@ -1,0 +1,74 @@
+//! # Σ-Dedupe service layer
+//!
+//! A typed, transport-agnostic front door for the dedup cluster: every
+//! operation travels as a [`RequestEnvelope`], flows through a composable
+//! [`Middleware`] pipeline (token auth → tenant
+//! quota → rate limiting → request logging), reaches the [`BackupService`]
+//! backend that owns the [`DedupCluster`](sigma_core::DedupCluster), and
+//! comes back as a [`ResponseEnvelope`] whose [`ServiceCode`] derives from
+//! [`SigmaError::code`](sigma_core::SigmaError::code) in exactly one place.
+//!
+//! ```text
+//!            in-process            framed TCP
+//!          ServiceStack::call    TcpClient ──frames──▶ TcpService
+//!                   │                                       │
+//!                   ▼                                       ▼
+//!            RequestEnvelope ──▶ auth ─▶ quota ─▶ rate-limit ─▶ logging
+//!                                                                 │
+//!                                                                 ▼
+//!            ResponseEnvelope ◀──────────────────────────── BackupService
+//! ```
+//!
+//! Two transports share the pipeline byte-for-byte: the in-process
+//! [`ServiceStack::call`] used by tests and embedders, and the framed-TCP
+//! pair [`TcpService`]/[`TcpClient`] whose wire format lives in [`codec`].
+//! Stacks assemble either in code ([`ServiceBuilder`]) or from declarative
+//! text ([`ServiceConfig`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sigma_core::{DedupCluster, SigmaConfig};
+//! use sigma_service::middleware::{RateLimit, TenantQuota, TokenAuth};
+//! use sigma_service::{Operation, RequestEnvelope, ServiceBuilder};
+//! use std::sync::Arc;
+//!
+//! let cluster = Arc::new(DedupCluster::with_similarity_router(2, SigmaConfig::default()));
+//! let stack = ServiceBuilder::default_stack(
+//!     TokenAuth::new().tenant("acme", "s3cret"),
+//!     TenantQuota::new().budget("acme", 1 << 30),
+//!     RateLimit::new(100, 50.0),
+//! )
+//! .build(cluster);
+//!
+//! let backup = stack.call(
+//!     RequestEnvelope::new(1, "acme", Operation::Backup { file_name: "db".into(), generation: 0 })
+//!         .with_payload(b"hello world".to_vec())
+//!         .with_token("s3cret"),
+//! );
+//! assert!(backup.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+mod builder;
+pub mod codec;
+mod config;
+mod envelope;
+pub mod middleware;
+mod pipeline;
+mod tcp;
+
+pub use backend::BackupService;
+pub use builder::{ServiceBuilder, ServiceStack};
+pub use config::{RateLimitConfig, ServiceConfig};
+pub use envelope::{Operation, RequestEnvelope, ResponseEnvelope, AUTH_TOKEN_KEY};
+pub use middleware::{Middleware, Next, ServiceResult};
+pub use pipeline::{Backend, PipelineExecutor};
+pub use tcp::{TcpClient, TcpService};
+
+// Re-exported so envelope consumers don't need a direct sigma-core
+// dependency to inspect response codes.
+pub use sigma_core::ServiceCode;

@@ -1,0 +1,200 @@
+//! Request logging and per-operation metrics.
+
+use crate::middleware::{Middleware, Next, ServiceResult};
+use crate::RequestEnvelope;
+use parking_lot::Mutex;
+use sigma_core::ServiceCode;
+use sigma_metrics::{MetricsRegistry, OpSnapshot, Stopwatch};
+use std::collections::BTreeMap;
+
+/// One observed request, success or failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// The request's correlator.
+    pub request_id: u64,
+    /// Tenant that issued it.
+    pub tenant: String,
+    /// Stable operation name ([`Operation::name`](crate::Operation::name)).
+    pub operation: &'static str,
+    /// How the request ended — rejections from *lower* layers and backend
+    /// errors included.
+    pub code: ServiceCode,
+    /// Wall-clock seconds spent below this middleware.
+    pub latency_secs: f64,
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Response payload bytes (0 for errors).
+    pub response_bytes: u64,
+}
+
+/// Records exactly one [`LogEntry`] per request — including error paths — and
+/// feeds per-operation latency and byte counters
+/// ([`sigma_metrics::MetricsRegistry`]).
+///
+/// Placement matters and is a choice, not a constraint: as the innermost
+/// layer (the default stack) it logs only requests that passed admission
+/// control, with `code` reflecting backend outcomes; as the outermost layer
+/// it observes every arrival, with `code` also covering auth/quota/rate-limit
+/// rejections.  Either way an `Err` travelling through is logged and then
+/// propagated untouched.
+#[derive(Debug, Default)]
+pub struct RequestLog {
+    entries: Mutex<Vec<LogEntry>>,
+    metrics: MetricsRegistry,
+}
+
+impl RequestLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RequestLog::default()
+    }
+
+    /// A copy of every entry observed so far, in completion order.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of requests observed.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Per-operation counter snapshots, keyed by operation name.
+    pub fn metrics(&self) -> BTreeMap<String, OpSnapshot> {
+        self.metrics.snapshot()
+    }
+
+    fn record(&self, entry: LogEntry) {
+        self.metrics.op(entry.operation).record(
+            std::time::Duration::from_secs_f64(entry.latency_secs.max(0.0)),
+            entry.request_bytes,
+            entry.response_bytes,
+            !entry.code.is_ok(),
+        );
+        self.entries.lock().push(entry);
+    }
+}
+
+impl Middleware for RequestLog {
+    fn name(&self) -> &'static str {
+        "logging"
+    }
+
+    fn handle(&self, req: RequestEnvelope, next: &dyn Next) -> ServiceResult {
+        let request_id = req.request_id;
+        let tenant = req.tenant.clone();
+        let operation = req.operation.name();
+        let request_bytes = req.payload.len() as u64;
+        let sw = Stopwatch::start();
+        let result = next.run(req);
+        let latency = sw.elapsed().as_secs_f64();
+        let (code, response_bytes) = match &result {
+            Ok(resp) => (resp.code, resp.payload.len() as u64),
+            Err(err) => (err.code(), 0),
+        };
+        self.record(LogEntry {
+            request_id,
+            tenant,
+            operation,
+            code,
+            latency_secs: latency,
+            request_bytes,
+            response_bytes,
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operation, PipelineExecutor, ResponseEnvelope};
+    use sigma_core::SigmaError;
+    use std::sync::Arc;
+
+    #[test]
+    fn logs_success_with_latency_and_bytes() {
+        let log = Arc::new(RequestLog::new());
+        let p = PipelineExecutor::new(
+            vec![log.clone()],
+            Arc::new(|r: RequestEnvelope| {
+                Ok(ResponseEnvelope::ok(r.request_id).with_payload(vec![0u8; 32]))
+            }),
+        );
+        let req = RequestEnvelope::new(
+            1,
+            "acme",
+            Operation::Backup {
+                file_name: "f".into(),
+                generation: 0,
+            },
+        )
+        .with_payload(vec![0u8; 128]);
+        assert!(p.execute(req).is_ok());
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.request_id, 1);
+        assert_eq!(e.tenant, "acme");
+        assert_eq!(e.operation, "backup");
+        assert_eq!(e.code, ServiceCode::Ok);
+        assert!(e.latency_secs >= 0.0);
+        assert_eq!(e.request_bytes, 128);
+        assert_eq!(e.response_bytes, 32);
+        let m = log.metrics();
+        assert_eq!(m["backup"].count, 1);
+        assert_eq!(m["backup"].errors, 0);
+        assert_eq!(m["backup"].request_bytes, 128);
+    }
+
+    #[test]
+    fn logs_errors_and_propagates_them() {
+        let log = Arc::new(RequestLog::new());
+        let p = PipelineExecutor::new(
+            vec![log.clone()],
+            Arc::new(|_r: RequestEnvelope| -> ServiceResult { Err(SigmaError::FileNotFound(5)) }),
+        );
+        let resp = p.execute(RequestEnvelope::new(
+            9,
+            "t",
+            Operation::Restore { file_id: 5 },
+        ));
+        assert_eq!(resp.code, ServiceCode::NotFound, "error still propagated");
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1, "exactly one entry for the failed request");
+        assert_eq!(entries[0].code, ServiceCode::NotFound);
+        assert_eq!(entries[0].response_bytes, 0);
+        assert_eq!(log.metrics()["restore"].errors, 1);
+    }
+
+    #[test]
+    fn one_entry_per_request_across_a_mix() {
+        let log = Arc::new(RequestLog::new());
+        let p = PipelineExecutor::new(
+            vec![log.clone()],
+            Arc::new(|r: RequestEnvelope| match r.operation {
+                Operation::Stats => Ok(ResponseEnvelope::ok(r.request_id)),
+                _ => Err(SigmaError::FileNotFound(0)),
+            }),
+        );
+        for i in 0..10u64 {
+            let op = if i % 2 == 0 {
+                Operation::Stats
+            } else {
+                Operation::Restore { file_id: i }
+            };
+            p.execute(RequestEnvelope::new(i, "t", op));
+        }
+        assert_eq!(log.len(), 10);
+        let m = log.metrics();
+        assert_eq!(m["stats"].count, 5);
+        assert_eq!(m["restore"].count, 5);
+        assert_eq!(m["restore"].errors, 5);
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-tenant logical-bytes quota, wired to the backup lifecycle's delete
+//! accounting.
+
+use crate::middleware::{Middleware, Next, ServiceResult};
+use crate::{backend::FREED_BYTES_KEY, RequestEnvelope};
+use parking_lot::Mutex;
+use sigma_core::SigmaError;
+use std::collections::HashMap;
+
+/// Enforces a logical-bytes budget per tenant.
+///
+/// Admission is a *reservation*: an ingesting request debits its payload size
+/// before it runs (so two concurrent requests cannot both squeeze through the
+/// last free bytes) and is refunded if any lower layer rejects it.  Deletes
+/// credit the budget with the `freed_bytes` figure the
+/// [`BackupService`](crate::BackupService) reports — the same accounting the
+/// backup lifecycle's delete/GC machinery returns — so expiring old backups
+/// makes room for new ones.
+///
+/// Tenants with no registered budget are unlimited; their usage is still
+/// tracked for observability.
+///
+/// An over-quota request is rejected with [`SigmaError::QuotaExceeded`]
+/// (code [`ResourceExhausted`](sigma_core::ServiceCode::ResourceExhausted))
+/// before it reaches any lower layer, so cluster accounting is untouched.
+#[derive(Debug, Default)]
+pub struct TenantQuota {
+    budgets: HashMap<String, u64>,
+    used: Mutex<HashMap<String, u64>>,
+}
+
+impl TenantQuota {
+    /// Creates a quota layer with no budgets (everything unlimited).
+    pub fn new() -> Self {
+        TenantQuota::default()
+    }
+
+    /// Registers (or replaces) a tenant's logical-bytes budget.
+    pub fn budget(mut self, tenant: impl Into<String>, logical_bytes: u64) -> Self {
+        self.budgets.insert(tenant.into(), logical_bytes);
+        self
+    }
+
+    /// The tenant's configured budget, if any.
+    pub fn budget_of(&self, tenant: &str) -> Option<u64> {
+        self.budgets.get(tenant).copied()
+    }
+
+    /// Logical bytes currently accounted to the tenant.
+    pub fn usage(&self, tenant: &str) -> u64 {
+        self.used.lock().get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Reserves `requested` bytes for the tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::QuotaExceeded`] without reserving anything when
+    /// the tenant's remaining budget cannot cover the request.
+    fn reserve(&self, tenant: &str, requested: u64) -> Result<(), SigmaError> {
+        let mut used = self.used.lock();
+        let current = used.get(tenant).copied().unwrap_or(0);
+        if let Some(&budget) = self.budgets.get(tenant) {
+            let remaining = budget.saturating_sub(current);
+            if requested > remaining {
+                return Err(SigmaError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    requested_bytes: requested,
+                    remaining_bytes: remaining,
+                });
+            }
+        }
+        *used.entry(tenant.to_string()).or_insert(0) = current + requested;
+        Ok(())
+    }
+
+    /// Returns `bytes` to the tenant's budget (refund or delete credit).
+    fn credit(&self, tenant: &str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut used = self.used.lock();
+        if let Some(u) = used.get_mut(tenant) {
+            *u = u.saturating_sub(bytes);
+        }
+    }
+}
+
+impl Middleware for TenantQuota {
+    fn name(&self) -> &'static str {
+        "quota"
+    }
+
+    fn handle(&self, req: RequestEnvelope, next: &dyn Next) -> ServiceResult {
+        let tenant = req.tenant.clone();
+        let reserved = if req.operation.ingests() {
+            let requested = req.payload.len() as u64;
+            self.reserve(&tenant, requested)?;
+            requested
+        } else {
+            0
+        };
+        match next.run(req) {
+            Ok(resp) => {
+                if !resp.is_ok() {
+                    // A lower layer rejected via envelope rather than error:
+                    // the reservation must not leak.
+                    self.credit(&tenant, reserved);
+                } else if let Some(freed) = resp.metadata_u64(FREED_BYTES_KEY) {
+                    self.credit(&tenant, freed);
+                }
+                Ok(resp)
+            }
+            Err(err) => {
+                self.credit(&tenant, reserved);
+                Err(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operation, PipelineExecutor, ResponseEnvelope};
+    use sigma_core::ServiceCode;
+    use std::sync::Arc;
+
+    fn backup(id: u64, bytes: usize) -> RequestEnvelope {
+        RequestEnvelope::new(
+            id,
+            "acme",
+            Operation::Backup {
+                file_name: format!("f{}", id),
+                generation: 0,
+            },
+        )
+        .with_payload(vec![0u8; bytes])
+    }
+
+    #[test]
+    fn reservation_rejects_over_budget_and_admits_within() {
+        let quota = Arc::new(TenantQuota::new().budget("acme", 1000));
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|r: RequestEnvelope| Ok(ResponseEnvelope::ok(r.request_id))),
+        );
+        assert!(p.execute(backup(1, 600)).is_ok());
+        assert_eq!(quota.usage("acme"), 600);
+        let over = p.execute(backup(2, 600));
+        assert_eq!(over.code, ServiceCode::ResourceExhausted);
+        assert!(over.message.contains("400"), "names the remaining bytes");
+        assert_eq!(quota.usage("acme"), 600, "failed request reserved nothing");
+        assert!(p.execute(backup(3, 400)).is_ok());
+        assert_eq!(quota.usage("acme"), 1000);
+    }
+
+    #[test]
+    fn backend_failure_refunds_the_reservation() {
+        let quota = Arc::new(TenantQuota::new().budget("acme", 1000));
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|_r: RequestEnvelope| -> ServiceResult { Err(SigmaError::FileNotFound(1)) }),
+        );
+        let resp = p.execute(backup(1, 800));
+        assert_eq!(resp.code, ServiceCode::NotFound);
+        assert_eq!(quota.usage("acme"), 0, "reservation refunded on error");
+    }
+
+    #[test]
+    fn delete_credits_freed_bytes() {
+        let quota = Arc::new(TenantQuota::new().budget("acme", 1000));
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|r: RequestEnvelope| {
+                let resp = match r.operation {
+                    Operation::DeleteFile { .. } => {
+                        ResponseEnvelope::ok(r.request_id).with_metadata(FREED_BYTES_KEY, "700")
+                    }
+                    _ => ResponseEnvelope::ok(r.request_id),
+                };
+                Ok(resp)
+            }),
+        );
+        assert!(p.execute(backup(1, 900)).is_ok());
+        assert_eq!(quota.usage("acme"), 900);
+        let del = p.execute(RequestEnvelope::new(
+            2,
+            "acme",
+            Operation::DeleteFile { file_id: 1 },
+        ));
+        assert!(del.is_ok());
+        assert_eq!(quota.usage("acme"), 200, "freed bytes returned to budget");
+        assert!(p.execute(backup(3, 700)).is_ok(), "room again after delete");
+    }
+
+    #[test]
+    fn unbudgeted_tenants_are_unlimited_but_tracked() {
+        let quota = Arc::new(TenantQuota::new());
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|r: RequestEnvelope| Ok(ResponseEnvelope::ok(r.request_id))),
+        );
+        assert!(p.execute(backup(1, 10_000_000)).is_ok());
+        assert_eq!(quota.usage("acme"), 10_000_000);
+        assert_eq!(quota.budget_of("acme"), None);
+    }
+
+    #[test]
+    fn non_ingesting_ops_reserve_nothing() {
+        let quota = Arc::new(TenantQuota::new().budget("acme", 10));
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|r: RequestEnvelope| Ok(ResponseEnvelope::ok(r.request_id))),
+        );
+        // A huge restore payload-to-be doesn't touch the budget.
+        let resp = p.execute(RequestEnvelope::new(
+            1,
+            "acme",
+            Operation::Restore { file_id: 7 },
+        ));
+        assert!(resp.is_ok());
+        assert_eq!(quota.usage("acme"), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Per-tenant token-bucket rate limiting.
+
+use crate::middleware::{Middleware, Next, ServiceResult};
+use crate::RequestEnvelope;
+use parking_lot::Mutex;
+use sigma_core::SigmaError;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source for the bucket refill.
+///
+/// Production uses [`SystemClock`]; tests inject a [`ManualClock`] so refill
+/// behaviour is deterministic.
+pub trait RateLimitClock: Send + Sync {
+    /// Monotonic elapsed time since an arbitrary fixed epoch.
+    fn now(&self) -> Duration;
+}
+
+/// [`Instant`]-backed clock (the default).
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl RateLimitClock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        *self.now.lock() += delta;
+    }
+}
+
+impl RateLimitClock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+}
+
+/// One tenant's bucket: fractional tokens plus the last refill instant.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Duration,
+}
+
+/// Token-bucket rate limiter, one bucket per tenant.
+///
+/// Every request costs one token.  A bucket starts full at `capacity` (the
+/// burst allowance) and refills continuously at `refill_per_sec`.  A request
+/// arriving at an empty bucket is rejected with [`SigmaError::RateLimited`]
+/// (code [`ResourceExhausted`](sigma_core::ServiceCode::ResourceExhausted))
+/// carrying the milliseconds until one token is available — without reaching
+/// any lower layer.
+///
+/// # Example
+///
+/// ```
+/// use sigma_service::middleware::{ManualClock, RateLimit};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = Arc::new(ManualClock::new());
+/// let limiter = RateLimit::new(2, 1.0).with_clock(clock.clone());
+/// assert!(limiter.try_acquire("t").is_ok());
+/// assert!(limiter.try_acquire("t").is_ok());
+/// assert!(limiter.try_acquire("t").is_err(), "burst of 2 exhausted");
+/// clock.advance(Duration::from_secs(1));
+/// assert!(limiter.try_acquire("t").is_ok(), "refilled one token");
+/// ```
+pub struct RateLimit {
+    capacity: u64,
+    refill_per_sec: f64,
+    clock: Arc<dyn RateLimitClock>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl std::fmt::Debug for RateLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateLimit")
+            .field("capacity", &self.capacity)
+            .field("refill_per_sec", &self.refill_per_sec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RateLimit {
+    /// Creates a limiter where every tenant gets a bucket of `capacity`
+    /// tokens refilling at `refill_per_sec` tokens per second
+    /// (`0.0` = no refill: a hard cap of `capacity` requests, useful in
+    /// tests).  Negative or non-finite refill rates are treated as `0.0`.
+    pub fn new(capacity: u64, refill_per_sec: f64) -> Self {
+        let refill = if refill_per_sec.is_finite() && refill_per_sec > 0.0 {
+            refill_per_sec
+        } else {
+            0.0
+        };
+        RateLimit {
+            capacity,
+            refill_per_sec: refill,
+            clock: Arc::new(SystemClock::default()),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Substitutes the time source (deterministic tests).
+    pub fn with_clock(mut self, clock: Arc<dyn RateLimitClock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The burst capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Takes one token from the tenant's bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::RateLimited`] when the bucket is empty.
+    pub fn try_acquire(&self, tenant: &str) -> Result<(), SigmaError> {
+        let now = self.clock.now();
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: self.capacity as f64,
+            refreshed: now,
+        });
+        let elapsed = now.saturating_sub(bucket.refreshed).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.refill_per_sec).min(self.capacity as f64);
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let retry_after_ms = if self.refill_per_sec > 0.0 {
+                ((1.0 - bucket.tokens) / self.refill_per_sec * 1000.0).ceil() as u64
+            } else {
+                0
+            };
+            Err(SigmaError::RateLimited {
+                tenant: tenant.to_string(),
+                retry_after_ms,
+            })
+        }
+    }
+}
+
+impl Middleware for RateLimit {
+    fn name(&self) -> &'static str {
+        "rate-limit"
+    }
+
+    fn handle(&self, req: RequestEnvelope, next: &dyn Next) -> ServiceResult {
+        self.try_acquire(&req.tenant)?;
+        next.run(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operation, PipelineExecutor, ResponseEnvelope};
+    use sigma_core::ServiceCode;
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let clock = Arc::new(ManualClock::new());
+        let limiter = RateLimit::new(3, 2.0).with_clock(clock.clone());
+        for _ in 0..3 {
+            assert!(limiter.try_acquire("t").is_ok());
+        }
+        let err = limiter.try_acquire("t").unwrap_err();
+        match err {
+            SigmaError::RateLimited { retry_after_ms, .. } => {
+                assert_eq!(retry_after_ms, 500, "one token at 2/s is 500 ms away");
+            }
+            other => panic!("expected RateLimited, got {:?}", other),
+        }
+        clock.advance(Duration::from_millis(500));
+        assert!(limiter.try_acquire("t").is_ok());
+        assert!(limiter.try_acquire("t").is_err(), "only one token refilled");
+    }
+
+    #[test]
+    fn refill_never_exceeds_capacity() {
+        let clock = Arc::new(ManualClock::new());
+        let limiter = RateLimit::new(2, 100.0).with_clock(clock.clone());
+        clock.advance(Duration::from_secs(3600));
+        assert!(limiter.try_acquire("t").is_ok());
+        assert!(limiter.try_acquire("t").is_ok());
+        assert!(limiter.try_acquire("t").is_err(), "capped at capacity 2");
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let limiter = RateLimit::new(1, 0.0);
+        assert!(limiter.try_acquire("a").is_ok());
+        assert!(limiter.try_acquire("a").is_err());
+        assert!(limiter.try_acquire("b").is_ok(), "b has its own bucket");
+    }
+
+    #[test]
+    fn zero_refill_reports_no_retry_hint() {
+        let limiter = RateLimit::new(0, 0.0);
+        match limiter.try_acquire("t").unwrap_err() {
+            SigmaError::RateLimited { retry_after_ms, .. } => assert_eq!(retry_after_ms, 0),
+            other => panic!("expected RateLimited, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn pathological_refill_rates_degrade_to_zero() {
+        for bad in [f64::NAN, f64::INFINITY, -5.0] {
+            let limiter = RateLimit::new(1, bad);
+            assert!(limiter.try_acquire("t").is_ok());
+            assert!(limiter.try_acquire("t").is_err(), "rate {} acts as 0", bad);
+        }
+    }
+
+    #[test]
+    fn middleware_rejects_with_resource_exhausted() {
+        let p = PipelineExecutor::new(
+            vec![std::sync::Arc::new(RateLimit::new(1, 0.0))],
+            std::sync::Arc::new(|r: RequestEnvelope| Ok(ResponseEnvelope::ok(r.request_id))),
+        );
+        assert!(p
+            .execute(RequestEnvelope::new(1, "t", Operation::Stats))
+            .is_ok());
+        let resp = p.execute(RequestEnvelope::new(2, "t", Operation::Stats));
+        assert_eq!(resp.code, ServiceCode::ResourceExhausted);
+    }
+}

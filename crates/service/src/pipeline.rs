@@ -1,0 +1,215 @@
+//! The pipeline executor: envelopes flowing through the middleware stack into
+//! a backend.
+//!
+//! ```text
+//! RequestEnvelope → middleware[0] → middleware[1] → … → Backend
+//!                                                          │
+//! ResponseEnvelope ← middleware[0] ← middleware[1] ← … ←───┘
+//! ```
+//!
+//! The executor owns an ordered middleware stack and a [`Backend`].  Each
+//! middleware sees the request on the way in and the response on the way out;
+//! an `Err` anywhere short-circuits the layers below it and is converted into
+//! a rejection [`ResponseEnvelope`] exactly once, at the executor boundary.
+
+use crate::middleware::{Middleware, Next, ServiceResult};
+use crate::{RequestEnvelope, ResponseEnvelope};
+use std::sync::Arc;
+
+/// The innermost handler of a pipeline — the thing the middleware stack
+/// guards.  [`BackupService`](crate::BackupService) is the production
+/// backend; tests substitute their own.
+pub trait Backend: Send + Sync {
+    /// Executes the request against the underlying system.
+    fn call(&self, req: RequestEnvelope) -> ServiceResult;
+}
+
+impl<F> Backend for F
+where
+    F: Fn(RequestEnvelope) -> ServiceResult + Send + Sync,
+{
+    fn call(&self, req: RequestEnvelope) -> ServiceResult {
+        self(req)
+    }
+}
+
+/// An ordered middleware stack in front of a backend.
+pub struct PipelineExecutor {
+    middlewares: Vec<Arc<dyn Middleware>>,
+    backend: Arc<dyn Backend>,
+}
+
+/// One suffix of the middleware stack plus the backend — the [`Next`] handle
+/// a middleware calls to run everything below itself.
+struct Chain<'a> {
+    rest: &'a [Arc<dyn Middleware>],
+    backend: &'a dyn Backend,
+}
+
+impl Next for Chain<'_> {
+    fn run(&self, req: RequestEnvelope) -> ServiceResult {
+        match self.rest.split_first() {
+            Some((mw, rest)) => mw.handle(
+                req,
+                &Chain {
+                    rest,
+                    backend: self.backend,
+                },
+            ),
+            None => self.backend.call(req),
+        }
+    }
+}
+
+impl PipelineExecutor {
+    /// Builds an executor from an ordered stack (outermost first) and a
+    /// backend.
+    pub fn new(middlewares: Vec<Arc<dyn Middleware>>, backend: Arc<dyn Backend>) -> Self {
+        PipelineExecutor {
+            middlewares,
+            backend,
+        }
+    }
+
+    /// Names of the stacked middlewares, outermost first (for logs and
+    /// `Debug`).
+    pub fn stack(&self) -> Vec<&'static str> {
+        self.middlewares.iter().map(|m| m.name()).collect()
+    }
+
+    /// Runs one request through the full stack.  Never panics on user error:
+    /// any `Err` from a middleware or the backend becomes a rejection
+    /// envelope whose code derives from
+    /// [`SigmaError::code`](sigma_core::SigmaError::code).
+    pub fn execute(&self, req: RequestEnvelope) -> ResponseEnvelope {
+        let request_id = req.request_id;
+        let chain = Chain {
+            rest: &self.middlewares,
+            backend: self.backend.as_ref(),
+        };
+        chain
+            .run(req)
+            .unwrap_or_else(|err| ResponseEnvelope::rejection(request_id, &err))
+    }
+}
+
+impl std::fmt::Debug for PipelineExecutor {
+    /// Shows the stack shape, not the (unprintable) trait objects.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineExecutor")
+            .field("stack", &self.stack())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+    use sigma_core::{ServiceCode, SigmaError};
+
+    fn req(id: u64) -> RequestEnvelope {
+        RequestEnvelope::new(id, "t", Operation::Stats)
+    }
+
+    fn echo_backend() -> Arc<dyn Backend> {
+        Arc::new(|r: RequestEnvelope| {
+            Ok(ResponseEnvelope::ok(r.request_id).with_metadata("backend", "echo"))
+        })
+    }
+
+    /// Tags requests on the way in and responses on the way out, recording
+    /// call order in a shared log.
+    struct Tag {
+        label: &'static str,
+        log: Arc<parking_lot::Mutex<Vec<String>>>,
+    }
+
+    impl Middleware for Tag {
+        fn name(&self) -> &'static str {
+            self.label
+        }
+        fn handle(&self, req: RequestEnvelope, next: &dyn Next) -> ServiceResult {
+            self.log.lock().push(format!("{}>in", self.label));
+            let resp = next.run(req)?;
+            self.log.lock().push(format!("{}>out", self.label));
+            Ok(resp.with_metadata(self.label, "seen"))
+        }
+    }
+
+    struct Reject;
+    impl Middleware for Reject {
+        fn name(&self) -> &'static str {
+            "reject"
+        }
+        fn handle(&self, req: RequestEnvelope, _next: &dyn Next) -> ServiceResult {
+            Err(SigmaError::Unauthorized { tenant: req.tenant })
+        }
+    }
+
+    #[test]
+    fn empty_stack_reaches_the_backend() {
+        let pipeline = PipelineExecutor::new(vec![], echo_backend());
+        let resp = pipeline.execute(req(5));
+        assert_eq!(resp.request_id, 5);
+        assert_eq!(resp.metadata["backend"], "echo");
+        assert!(pipeline.stack().is_empty());
+    }
+
+    #[test]
+    fn middlewares_run_outermost_first_and_unwind_in_reverse() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pipeline = PipelineExecutor::new(
+            vec![
+                Arc::new(Tag {
+                    label: "outer",
+                    log: log.clone(),
+                }),
+                Arc::new(Tag {
+                    label: "inner",
+                    log: log.clone(),
+                }),
+            ],
+            echo_backend(),
+        );
+        let resp = pipeline.execute(req(1));
+        assert!(resp.is_ok());
+        assert_eq!(resp.metadata["outer"], "seen");
+        assert_eq!(resp.metadata["inner"], "seen");
+        assert_eq!(
+            *log.lock(),
+            vec!["outer>in", "inner>in", "inner>out", "outer>out"]
+        );
+        assert_eq!(pipeline.stack(), vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn rejection_short_circuits_lower_layers() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pipeline = PipelineExecutor::new(
+            vec![
+                Arc::new(Tag {
+                    label: "outer",
+                    log: log.clone(),
+                }),
+                Arc::new(Reject),
+                Arc::new(Tag {
+                    label: "never",
+                    log: log.clone(),
+                }),
+            ],
+            Arc::new(|_r: RequestEnvelope| -> ServiceResult { panic!("backend must not run") }),
+        );
+        let resp = pipeline.execute(req(9));
+        assert_eq!(resp.request_id, 9);
+        assert_eq!(resp.code, ServiceCode::Unauthorized);
+        assert_eq!(*log.lock(), vec!["outer>in"], "inner layers never ran");
+    }
+
+    #[test]
+    fn debug_shows_the_stack() {
+        let pipeline = PipelineExecutor::new(vec![Arc::new(Reject)], echo_backend());
+        let dbg = format!("{:?}", pipeline);
+        assert!(dbg.contains("reject"), "{}", dbg);
+    }
+}

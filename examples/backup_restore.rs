@@ -8,9 +8,7 @@
 //! cargo run --release --example backup_restore
 //! ```
 
-use sigma_dedupe::metrics::report::{human_bytes, TextTable};
-use sigma_dedupe::workloads::payload::random_bytes;
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 /// Builds a small synthetic "project tree": sources, a binary, and duplicated assets.

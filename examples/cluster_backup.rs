@@ -7,10 +7,7 @@
 //! cargo run --release --example cluster_backup
 //! ```
 
-use sigma_dedupe::metrics::report::{human_bytes, TextTable};
-use sigma_dedupe::simulation::runner::{run_cluster, SimulationConfig};
-use sigma_dedupe::workloads::{presets, Scale};
-use sigma_dedupe::{SigmaConfig, SimilarityRouter};
+use sigma_dedupe::prelude::*;
 
 fn main() {
     let scale = Scale::Small;

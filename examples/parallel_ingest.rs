@@ -8,9 +8,7 @@
 //! cargo run --release --example parallel_ingest
 //! ```
 
-use sigma_dedupe::metrics::report::{human_bytes, TextTable};
-use sigma_dedupe::workloads::payload::{versioned_payloads, VersionedPayloadParams};
-use sigma_dedupe::{BackupClient, DedupCluster, IngestPipeline, SigmaConfig, StreamPayload};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 

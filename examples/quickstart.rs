@@ -7,9 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sigma_dedupe::metrics::report::human_bytes;
-use sigma_dedupe::workloads::payload::{versioned_payloads, VersionedPayloadParams};
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -12,8 +12,7 @@
 //! cargo run --release --example retention
 //! ```
 
-use sigma_dedupe::metrics::report::TextTable;
-use sigma_dedupe::simulation::retention_churn::{run_retention, RetentionConfig};
+use sigma_dedupe::prelude::*;
 
 fn main() {
     let config = RetentionConfig::default();

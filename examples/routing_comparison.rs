@@ -8,12 +8,8 @@
 //! cargo run --release --example routing_comparison
 //! ```
 
-use sigma_dedupe::baselines::{ExtremeBinningRouter, StatefulRouter, StatelessRouter};
-use sigma_dedupe::metrics::report::TextTable;
-use sigma_dedupe::simulation::experiments::table1;
-use sigma_dedupe::simulation::runner::{run_cluster, SimulationConfig};
-use sigma_dedupe::workloads::{presets, Scale};
-use sigma_dedupe::{DataRouter, SigmaConfig, SimilarityRouter};
+use sigma_dedupe::prelude::experiments::table1;
+use sigma_dedupe::prelude::*;
 
 fn router(name: &str) -> Box<dyn DataRouter> {
     match name {

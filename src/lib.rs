@@ -17,6 +17,15 @@
 //! * [`metrics`] — deduplication ratio/efficiency, NEDR, skew, reporting helpers.
 //! * [`simulation`] — the trace-driven cluster simulation and the per-figure
 //!   experiment drivers.
+//! * [`service`] — the backup service layer: request/response envelopes, the
+//!   middleware pipeline (auth, quota, rate limiting, logging) and the
+//!   in-process + framed-TCP transports in front of the cluster.
+//!
+//! Most programs only need [`prelude`]:
+//!
+//! ```
+//! use sigma_dedupe::prelude::*;
+//! ```
 //!
 //! # Quick start
 //!
@@ -38,6 +47,7 @@ pub use sigma_chunking as chunking;
 pub use sigma_core as core;
 pub use sigma_hashkit as hashkit;
 pub use sigma_metrics as metrics;
+pub use sigma_service as service;
 pub use sigma_simulation as simulation;
 pub use sigma_storage as storage;
 pub use sigma_workloads as workloads;
@@ -45,6 +55,7 @@ pub use sigma_workloads as workloads;
 pub use sigma_baselines::{
     ChunkDhtRouter, ExtremeBinningRouter, RoundRobinRouter, StatefulRouter, StatelessRouter,
 };
+pub use sigma_core::ServiceCode;
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
     GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap, RebalanceReport, Rebalancer,
@@ -52,7 +63,68 @@ pub use sigma_core::{
     SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
+pub use sigma_service::{
+    BackupService, Operation, RequestEnvelope, ResponseEnvelope, ServiceBuilder, ServiceConfig,
+    ServiceStack, TcpClient, TcpService,
+};
 pub use sigma_storage::{CrashMode, DiskParams, Journal, JournalRecord, StorageError};
+
+/// One-line import for programs and tests: every commonly-used type from the
+/// façade plus the helper modules (`payload`, `presets`, `runner`,
+/// `experiments`, `retention_churn`, `report`) under their short names.
+///
+/// ```
+/// use sigma_dedupe::prelude::*;
+/// use std::sync::Arc;
+///
+/// let cluster = Arc::new(DedupCluster::with_similarity_router(2, SigmaConfig::default()));
+/// let client = BackupClient::new(cluster.clone(), 0);
+/// let report = client.backup_bytes("p.txt", b"prelude").unwrap();
+/// assert_eq!(cluster.restore_file(report.file_id).unwrap(), b"prelude");
+/// ```
+pub mod prelude {
+    // Cluster, client and configuration.
+    pub use sigma_core::{
+        BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director,
+        FileBackupReport, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap,
+        RebalanceReport, Rebalancer, RecoveryReport, ServiceCode, SigmaConfig, SigmaError,
+        SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
+    };
+
+    // Hashes and chunking.
+    pub use sigma_chunking::ChunkerParams;
+    pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
+
+    // Routing baselines.
+    pub use sigma_baselines::{
+        ChunkDhtRouter, ExtremeBinningRouter, RoundRobinRouter, StatefulRouter, StatelessRouter,
+    };
+
+    // Durable storage.
+    pub use sigma_storage::{
+        ContainerId, CrashMode, DiskParams, Journal, JournalRecord, StorageError,
+    };
+
+    // Reporting and workload generation.
+    pub use sigma_metrics::report::{self, human_bytes, TextTable};
+    pub use sigma_workloads::payload::{
+        self, generational_payloads, random_bytes, versioned_payloads, GenerationalPayloadParams,
+        VersionedPayloadParams,
+    };
+    pub use sigma_workloads::{presets, Scale};
+
+    // Simulation drivers.
+    pub use sigma_simulation::experiments;
+    pub use sigma_simulation::retention_churn::{self, run_retention, RetentionConfig};
+    pub use sigma_simulation::runner::{self, run_cluster, SimulationConfig};
+
+    // Service layer.
+    pub use sigma_service::middleware::{RateLimit, RequestLog, TenantQuota, TokenAuth};
+    pub use sigma_service::{
+        BackupService, Operation, RequestEnvelope, ResponseEnvelope, ServiceBuilder, ServiceConfig,
+        ServiceStack, TcpClient, TcpService, AUTH_TOKEN_KEY,
+    };
+}
 
 #[cfg(test)]
 mod tests {

@@ -15,8 +15,7 @@
 //!   every *active* node (so its per-super-chunk cost tracks the live node
 //!   count, not the historical one).
 
-use sigma_dedupe::baselines::{ChunkDhtRouter, ExtremeBinningRouter, StatefulRouter};
-use sigma_dedupe::{BackupClient, DataRouter, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 const INITIAL_NODES: usize = 3;
@@ -26,7 +25,7 @@ const STREAM_BYTES: usize = 96 * 1024;
 fn churn_config() -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(8 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(1024))
+        .chunker(ChunkerParams::fixed(1024))
         .container_capacity(16 * 1024)
         .cache_containers(8)
         .build()

@@ -1,11 +1,8 @@
 //! Integration tests of the trace-driven simulation across crates: workloads →
 //! routers → cluster → metrics, checking the paper's headline shapes end to end.
 
-use sigma_dedupe::baselines::{RoundRobinRouter, StatefulRouter, StatelessRouter};
-use sigma_dedupe::simulation::experiments::{fig7, fig8};
-use sigma_dedupe::simulation::runner::{run_cluster, SimulationConfig};
-use sigma_dedupe::workloads::{presets, Scale};
-use sigma_dedupe::{SigmaConfig, SimilarityRouter};
+use sigma_dedupe::prelude::experiments::{fig7, fig8};
+use sigma_dedupe::prelude::*;
 
 fn config(nodes: usize) -> SimulationConfig {
     SimulationConfig {

@@ -6,15 +6,13 @@
 //! striped indexes or the per-container store locks surface here rather than on
 //! main.
 
-use sigma_dedupe::{
-    BackupClient, DedupCluster, FileBackupReport, IngestPipeline, SigmaConfig, StreamPayload,
-};
+use sigma_dedupe::prelude::*;
 use std::sync::{Arc, Barrier};
 
 fn stress_config(parallelism: usize) -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(8 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(1024))
+        .chunker(ChunkerParams::fixed(1024))
         .container_capacity(32 * 1024)
         .cache_containers(4)
         .parallelism(parallelism)

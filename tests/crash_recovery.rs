@@ -22,10 +22,7 @@
 //! different workloads with the same deterministic harness.
 
 use proptest::prelude::*;
-use sigma_dedupe::{
-    BackupClient, CrashMode, DedupCluster, DedupNode, Journal, SigmaConfig, SuperChunk,
-};
-use sigma_hashkit::FingerprintAlgorithm;
+use sigma_dedupe::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -40,7 +37,7 @@ fn env_seed() -> u64 {
 fn durable_config() -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+        .chunker(ChunkerParams::fixed(512))
         .container_capacity(8 * 1024)
         .cache_containers(4)
         .durability(true)
@@ -177,7 +174,7 @@ proptest! {
     ) {
         let config = SigmaConfig::builder()
             .super_chunk_size(4 * 1024)
-            .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+            .chunker(ChunkerParams::fixed(512))
             .container_capacity(8 * 1024)
             .cache_containers(4)
             .durability(true)
@@ -213,8 +210,8 @@ proptest! {
             .map(|(_, sc)| sc)
             .collect();
         let mut live: std::collections::HashMap<
-            sigma_dedupe::storage::ContainerId,
-            std::collections::HashSet<sigma_dedupe::Fingerprint>,
+            ContainerId,
+            std::collections::HashSet<Fingerprint>,
         > = std::collections::HashMap::new();
         for sc in &survivors {
             for d in sc.descriptors() {
@@ -415,8 +412,8 @@ proptest! {
                         prop_assert!(
                             matches!(
                                 e,
-                                sigma_dedupe::SigmaError::Storage(
-                                    sigma_dedupe::StorageError::Crashed
+                                SigmaError::Storage(
+                                    StorageError::Crashed
                                 )
                             ),
                             "drain failed for a non-crash reason: {}", e

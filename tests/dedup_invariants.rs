@@ -2,8 +2,7 @@
 //! through the public façade.
 
 use proptest::prelude::*;
-use sigma_dedupe::workloads::payload::random_bytes;
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 fn small_cluster(nodes: usize) -> Arc<DedupCluster> {
@@ -72,7 +71,7 @@ proptest! {
             .super_chunk_size(64 * 1024)
             .container_capacity(512 * 1024)
             .cache_containers(32)
-            .chunker(sigma_dedupe::chunking::ChunkerParams::cdc(1024, 4096, 16 * 1024))
+            .chunker(ChunkerParams::cdc(1024, 4096, 16 * 1024))
             .build()
             .unwrap();
         let cluster = Arc::new(DedupCluster::with_similarity_router(1, config));

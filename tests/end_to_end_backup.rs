@@ -1,7 +1,6 @@
 //! End-to-end integration tests spanning the client, cluster, nodes and director.
 
-use sigma_dedupe::workloads::payload::{random_bytes, versioned_payloads, VersionedPayloadParams};
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig, SigmaError};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 fn cluster(nodes: usize) -> Arc<DedupCluster> {

@@ -2,7 +2,7 @@
 //! exactly as documented in `src/lib.rs` — back up through a multi-node
 //! cluster, flush open containers, and restore bit-exactly.
 
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 #[test]

@@ -12,7 +12,7 @@
 //!   cluster produces identical per-node usage and message counters.
 
 use proptest::prelude::*;
-use sigma_dedupe::{BackupClient, DedupCluster, IngestPipeline, SigmaConfig, StreamPayload};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 /// Small chunks and super-chunks so even a few KB of payload crosses several
@@ -20,7 +20,7 @@ use std::sync::Arc;
 fn equivalence_config(parallelism: usize) -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+        .chunker(ChunkerParams::fixed(512))
         .container_capacity(16 * 1024)
         .cache_containers(4)
         .parallelism(parallelism)

@@ -2,11 +2,7 @@
 //! cache-eviction restores, empty/single-chunk streams, and the
 //! `SuperChunkBuilder` drop contract.
 
-use sigma_dedupe::Digest;
-use sigma_dedupe::{
-    BackupClient, ChunkDescriptor, DedupCluster, IngestPipeline, Sha1, SigmaConfig, SigmaError,
-    StreamPayload, SuperChunkBuilder,
-};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 fn tiny_cache_config() -> SigmaConfig {
@@ -15,7 +11,7 @@ fn tiny_cache_config() -> SigmaConfig {
     // fingerprint cache.
     SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(1024))
+        .chunker(ChunkerParams::fixed(1024))
         .container_capacity(8 * 1024)
         .cache_containers(1)
         .parallelism(4)
@@ -163,7 +159,7 @@ fn serial_client_flushes_its_builder_so_no_tail_is_lost() {
     // its undersized tail (the client calls finish(), never relying on drop).
     let config = SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(1024))
+        .chunker(ChunkerParams::fixed(1024))
         .build()
         .unwrap();
     let cluster = Arc::new(DedupCluster::with_similarity_router(1, config));

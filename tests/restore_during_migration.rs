@@ -13,7 +13,7 @@
 //!   are conserved by every migration (no chunk duplicated or lost).
 
 use proptest::prelude::*;
-use sigma_dedupe::{BackupClient, DedupCluster, SigmaConfig};
+use sigma_dedupe::prelude::*;
 use std::sync::Arc;
 
 /// Small super-chunks and containers so even a few KB of payload produces
@@ -21,7 +21,7 @@ use std::sync::Arc;
 fn migration_config() -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+        .chunker(ChunkerParams::fixed(512))
         .container_capacity(8 * 1024)
         .cache_containers(4)
         .build()

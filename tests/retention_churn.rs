@@ -21,9 +21,7 @@
 //! explores different workloads with the same deterministic harness.
 
 use proptest::prelude::*;
-use sigma_dedupe::simulation::retention_churn::{run_retention, RetentionConfig};
-use sigma_dedupe::workloads::payload::{generational_payloads, GenerationalPayloadParams};
-use sigma_dedupe::{BackupClient, CrashMode, DedupCluster, SigmaConfig, SigmaError};
+use sigma_dedupe::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -109,7 +107,7 @@ proptest! {
 fn durable_config() -> SigmaConfig {
     SigmaConfig::builder()
         .super_chunk_size(4 * 1024)
-        .chunker(sigma_dedupe::chunking::ChunkerParams::fixed(512))
+        .chunker(ChunkerParams::fixed(512))
         .container_capacity(8 * 1024)
         .cache_containers(4)
         .durability(true)
@@ -237,7 +235,7 @@ proptest! {
                         prop_assert!(
                             matches!(
                                 e,
-                                SigmaError::Storage(sigma_dedupe::StorageError::Crashed)
+                                SigmaError::Storage(StorageError::Crashed)
                             ),
                             "sweep failed for a non-crash reason: {}", e
                         );
