@@ -110,8 +110,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("gc_compaction");
     group.sample_size(10);
     for (label, threshold) in [("drop_only", 0.0), ("compact_aggressive", 1.0)] {
-        // Measure the full delete + mark + sweep cycle; the cluster is rebuilt
-        // per iteration because a sweep is destructive.
+        // MB/s here is physical bytes *reclaimed* per second of sweep time.  A
+        // sweep is destructive, so each iteration needs a fresh expired
+        // cluster — built in the (untimed) setup half of iter_batched so the
+        // reported rate covers the mark-and-sweep only, not cluster
+        // construction.
         let reclaimable = {
             let cluster = expired_cluster(threshold, 2, 3, 1, 1 << 20);
             cluster
@@ -121,10 +124,11 @@ fn bench(c: &mut Criterion) {
         };
         group.throughput(Throughput::Bytes(reclaimable.max(1)));
         group.bench_function(label, |b| {
-            b.iter(|| {
-                let cluster = expired_cluster(threshold, 2, 3, 1, 1 << 20);
-                cluster.collect_garbage().expect("no faults in bench")
-            })
+            b.iter_batched(
+                || expired_cluster(threshold, 2, 3, 1, 1 << 20),
+                |cluster| cluster.collect_garbage().expect("no faults in bench"),
+                criterion::BatchSize::PerIteration,
+            )
         });
     }
     group.finish();

@@ -5,7 +5,10 @@
 //!
 //! * **payload pipeline** — real bytes (versioned backup generations) pushed
 //!   through [`IngestPipeline`]: chunking + SHA-1 fingerprinting on the worker
-//!   pool, concurrent multi-stream routing into a cluster.  Reported as MB/s.
+//!   pool, concurrent multi-stream routing into a cluster.  Reported as MB/s
+//!   of *logical pre-dedup* client bytes (the paper's Figure 4 basis —
+//!   post-dedup MB/s would scale with the dedup ratio and say nothing about
+//!   backup-window sizing).
 //! * **linux-like trace** — the linux-like workload preset replayed through the
 //!   threaded `SimulationRunner`, exercising the sharded node indexes and the
 //!   per-container store locks without client-side hashing cost.

@@ -105,10 +105,16 @@ fn bench(c: &mut Criterion) {
     report();
 
     let cluster = populated_cluster();
-    let physical = cluster.stats().physical_bytes;
+    // Probe one round trip for the *actual* migration volume: the join moves
+    // containers onto the new node and the drain moves them back out, so the
+    // byte basis is the sum of both directions in physical (post-dedup)
+    // container bytes — not logical client bytes, and not a guessed share of
+    // the cluster's physical footprint.
+    let (probe_id, probe_join) = cluster.add_node_rebalanced().expect("no faults in bench");
+    let probe_leave = cluster.remove_node(probe_id).expect("node is active");
+    let round_trip_bytes = probe_join.bytes_moved + probe_leave.bytes_moved;
     let mut group = c.benchmark_group("rebalance");
-    // Each round trip migrates ~mean bytes onto the joiner and back out.
-    group.throughput(Throughput::Bytes(physical / 4));
+    group.throughput(Throughput::Bytes(round_trip_bytes.max(1)));
     group.sample_size(10);
     group.bench_function("join_leave_round_trip", |b| {
         b.iter(|| {

@@ -4,6 +4,9 @@
 //! metric that gates restart latency once nodes journal: MB/s of write-ahead-log
 //! replay, i.e. how quickly [`DedupNode::recover`] turns journal bytes back into
 //! a serving node (containers reinstalled, chunk + similarity indexes rebuilt).
+//! The byte basis is *journal bytes consumed* — neither logical client bytes
+//! nor physical container bytes — so raw and compacted numbers are comparable
+//! to each other but not to ingest MB/s.
 //!
 //! The banner prints a one-shot table comparing a raw (append-by-append) journal
 //! against its compacted (single-snapshot) form at a reporting scale; criterion

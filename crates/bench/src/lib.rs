@@ -5,9 +5,16 @@
 //! reporting scale and prints the resulting rows (the "figure"), then registers a
 //! small Criterion micro-benchmark of the core operation that the figure exercises,
 //! so `cargo bench` also yields stable timing numbers for regression tracking.
+//!
+//! The crate also ships the `sigma-bench` binary: a one-shot runner ([`runner`])
+//! that measures the headline workloads and persists them as a schema-versioned
+//! trajectory file ([`trajectory`]) that CI compares against on every push.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
+pub mod trajectory;
 
 /// Prints a banner identifying which table/figure of the paper a bench reproduces.
 pub fn banner(experiment: &str, description: &str) {

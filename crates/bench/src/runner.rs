@@ -1,0 +1,495 @@
+//! The `sigma-bench` measurement suites: one in-process pass over the four
+//! headline workloads (ingest, rebalance, recovery replay, GC reclaim) that
+//! produces a [`BenchReport`] for the persisted performance trajectory.
+//!
+//! Unlike the criterion targets (which explore parameter spaces), the runner
+//! measures a fixed configuration per metric, takes the best of a few
+//! repetitions, and labels every number with its byte basis so the trajectory
+//! file cannot silently mix pre-dedup and post-dedup MB/s.
+//!
+//! Two sizes exist: **full** (the numbers committed as `BENCH_pr7.json`) and
+//! **quick** (CI-sized).  A full run executes *both* and records the quick
+//! metrics under `quick/`-prefixed names, so a CI quick run always finds
+//! same-sized baselines in the committed file and never compares a 2 MiB run
+//! against a 16 MiB one.
+
+use crate::trajectory::{BenchReport, ByteBasis, Metric};
+use sigma_chunking::{reference, ChunkerParams};
+use sigma_core::{
+    BackupClient, DedupCluster, DedupNode, IngestPipeline, SigmaConfig, StreamPayload, SuperChunk,
+};
+use sigma_hashkit::FingerprintAlgorithm;
+use sigma_metrics::Stopwatch;
+use sigma_simulation::runner::{run_cluster, SimulationConfig};
+use sigma_storage::Journal;
+use sigma_workloads::payload::{
+    generational_payloads, random_bytes, versioned_payloads, GenerationalPayloadParams,
+    VersionedPayloadParams,
+};
+use sigma_workloads::{presets, Scale};
+use std::sync::Arc;
+
+/// How the runner is invoked.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Run only the CI-sized quick suite (a full run includes it anyway,
+    /// under `quick/`-prefixed metric names).
+    pub quick: bool,
+    /// Label recorded in the report (e.g. `pr7`).
+    pub label: String,
+}
+
+/// Workload sizes for one suite pass.
+struct Sizes {
+    /// Metric-name prefix (`""` for full, `"quick/"` for the CI size).
+    prefix: &'static str,
+    /// Ingest: number of client streams.
+    ingest_streams: u64,
+    /// Ingest: logical bytes per stream.
+    ingest_stream_bytes: usize,
+    /// Ingest: worker-thread sweep (`_t1` must be first — it anchors the
+    /// reference-chunker speedup comparison).
+    threads: &'static [usize],
+    /// Trace replay scale for the linux-like dataset.
+    trace_scale: Scale,
+    /// Rebalance: streams and bytes per stream pre-loaded before the join.
+    rebalance_streams: u64,
+    rebalance_stream_bytes: usize,
+    /// Recovery: logical payload bytes journaled before the replay.
+    replay_payload_bytes: usize,
+    /// GC: streams, generations, generations expired, initial bytes/stream.
+    gc_streams: u64,
+    gc_generations: usize,
+    gc_expire: u64,
+    gc_stream_bytes: usize,
+    /// Repetitions per metric; the best (max MB/s) is recorded.
+    reps: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            prefix: "",
+            ingest_streams: 8,
+            ingest_stream_bytes: 2 << 20,
+            threads: &[1, 2, 4, 8],
+            trace_scale: Scale::Tiny,
+            rebalance_streams: 4,
+            rebalance_stream_bytes: 1 << 20,
+            replay_payload_bytes: 8 << 20,
+            gc_streams: 4,
+            gc_generations: 4,
+            gc_expire: 2,
+            gc_stream_bytes: 2 << 20,
+            reps: 3,
+        }
+    }
+
+    fn quick() -> Sizes {
+        Sizes {
+            prefix: "quick/",
+            ingest_streams: 4,
+            ingest_stream_bytes: 256 << 10,
+            threads: &[1, 4],
+            trace_scale: Scale::Tiny,
+            rebalance_streams: 2,
+            rebalance_stream_bytes: 256 << 10,
+            replay_payload_bytes: 2 << 20,
+            gc_streams: 2,
+            gc_generations: 4,
+            gc_expire: 2,
+            gc_stream_bytes: 512 << 10,
+            reps: 2,
+        }
+    }
+}
+
+/// Runs the selected suites and assembles the trajectory report.
+pub fn run(opts: &RunnerOptions) -> BenchReport {
+    let calibration_mbps = calibrate();
+    eprintln!("calibration: {calibration_mbps:.1} MB/s (sha1 over a fixed buffer)");
+    let mut metrics = Vec::new();
+    let mut speedup = 0.0;
+    if !opts.quick {
+        speedup = suite(&Sizes::full(), &mut metrics);
+    }
+    let quick_speedup = suite(&Sizes::quick(), &mut metrics);
+    if opts.quick {
+        speedup = quick_speedup;
+    }
+    BenchReport {
+        label: opts.label.clone(),
+        mode: if opts.quick { "quick" } else { "full" }.to_string(),
+        calibration_mbps,
+        ingest_speedup_vs_reference: speedup,
+        metrics,
+    }
+}
+
+/// Fixed CPU workload (SHA-1 over 8 MiB) whose MB/s captures how fast the
+/// measuring machine is; comparisons divide metrics by it so a slower CI
+/// runner does not read as a code regression.
+pub fn calibrate() -> f64 {
+    let data = random_bytes(8 << 20, 0xCA_11B);
+    best_of(3, || {
+        let sw = Stopwatch::start();
+        let fp = FingerprintAlgorithm::Sha1.fingerprint(&data);
+        let tp = sw.stop(data.len() as u64);
+        std::hint::black_box(fp);
+        tp.mb_per_sec()
+    })
+}
+
+/// Runs all four suites at `sizes`, appending metrics, and returns the
+/// single-thread optimized/reference ingest speedup measured within the pass.
+fn suite(sizes: &Sizes, metrics: &mut Vec<Metric>) -> f64 {
+    let speedup = ingest_suite(sizes, metrics);
+    trace_suite(sizes, metrics);
+    rebalance_suite(sizes, metrics);
+    replay_suite(sizes, metrics);
+    gc_suite(sizes, metrics);
+    speedup
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(0.0, f64::max)
+}
+
+/// The CDC parameters every ingest measurement uses: small chunks so the
+/// rolling-hash scan dominates and the pipeline hot path is what's measured.
+fn ingest_chunker_params() -> ChunkerParams {
+    ChunkerParams::cdc(1 << 10, 4 << 10, 16 << 10)
+}
+
+fn ingest_config(threads: usize) -> SigmaConfig {
+    SigmaConfig::builder()
+        .parallelism(threads)
+        .chunker(ingest_chunker_params())
+        .build()
+        .expect("valid bench config")
+}
+
+fn payload_streams(sizes: &Sizes) -> Vec<StreamPayload> {
+    (0..sizes.ingest_streams)
+        .flat_map(|s| {
+            versioned_payloads(VersionedPayloadParams {
+                seed: 0xF00D + s,
+                versions: 1,
+                version_size: sizes.ingest_stream_bytes,
+                mutation_rate: 0.05,
+            })
+            .into_iter()
+            .map(move |(name, data)| StreamPayload::new(s, format!("u{s}/{name}"), data))
+        })
+        .collect()
+}
+
+/// One full ingest of `streams` into a fresh 4-node cluster; pre-dedup MB/s.
+///
+/// With `reference_hot_loops` the identical pipeline runs on the scalar
+/// reference chunker scan and the un-unrolled reference SHA-1 — the measured
+/// "before" of the hot-loop speed pass, recorded in the same process as the
+/// optimized number.
+fn ingest_once(threads: usize, streams: &[StreamPayload], reference_hot_loops: bool) -> f64 {
+    let cluster = Arc::new(DedupCluster::with_similarity_router(
+        4,
+        ingest_config(threads),
+    ));
+    let pipeline = IngestPipeline::new(cluster.clone());
+    let total: u64 = streams.iter().map(|s| s.data.len() as u64).sum();
+    let sw = Stopwatch::start();
+    if reference_hot_loops {
+        let chunker = reference::build(&ingest_chunker_params());
+        pipeline.backup_streams_with(streams.to_vec(), chunker.as_ref(), &|data| {
+            sigma_hashkit::reference::ReferenceSha1::fingerprint_bytes(data)
+        })
+    } else {
+        pipeline.backup_streams(streams.to_vec())
+    }
+    .expect("payload ingest cannot fail");
+    cluster.flush();
+    sw.stop(total).mb_per_sec()
+}
+
+/// Payload ingest sweep plus the in-run reference-chunker baseline; returns
+/// the single-thread optimized/reference speedup.
+fn ingest_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) -> f64 {
+    let streams = payload_streams(sizes);
+    let total: u64 = streams.iter().map(|s| s.data.len() as u64).sum();
+    let mut t1 = 0.0;
+    for &threads in sizes.threads {
+        let mbps = best_of(sizes.reps, || ingest_once(threads, &streams, false));
+        eprintln!("{}ingest_payload_t{threads}: {mbps:.1} MB/s", sizes.prefix);
+        if threads == 1 {
+            t1 = mbps;
+        }
+        metrics.push(Metric {
+            name: format!("{}ingest_payload_t{threads}", sizes.prefix),
+            mbps,
+            bytes: total,
+            byte_basis: ByteBasis::LogicalPreDedup,
+            // Multi-thread numbers depend on host core count, so only the
+            // single-thread figure gates the trajectory.
+            headline: threads == 1,
+        });
+    }
+    // Same pipeline, same cluster configuration, byte-identical boundaries and
+    // digests — only the hot loops (chunker scan, SHA-1 compress) are swapped
+    // for their unoptimized reference versions.
+    let ref_mbps = best_of(sizes.reps, || ingest_once(1, &streams, true));
+    eprintln!(
+        "{}ingest_payload_reference_t1: {ref_mbps:.1} MB/s",
+        sizes.prefix
+    );
+    metrics.push(Metric {
+        name: format!("{}ingest_payload_reference_t1", sizes.prefix),
+        mbps: ref_mbps,
+        bytes: total,
+        byte_basis: ByteBasis::LogicalPreDedup,
+        headline: false,
+    });
+    if ref_mbps > 0.0 {
+        t1 / ref_mbps
+    } else {
+        0.0
+    }
+}
+
+/// Linux-like trace replayed through the simulation runner (no client-side
+/// payload hashing; exercises routing, sharded indexes, container stores).
+fn trace_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let dataset = presets::linux_dataset(sizes.trace_scale);
+    let logical = dataset.logical_bytes();
+    let mbps = best_of(sizes.reps, || {
+        let sigma = SigmaConfig::builder().parallelism(1).build().unwrap();
+        let config = SimulationConfig {
+            node_count: 4,
+            sigma,
+            client_streams: 8,
+        };
+        let sw = Stopwatch::start();
+        let outcome = run_cluster(
+            &dataset,
+            Box::new(sigma_core::SimilarityRouter::new(true)),
+            &config,
+        );
+        let tp = sw.stop(logical);
+        std::hint::black_box(outcome);
+        tp.mb_per_sec()
+    });
+    eprintln!("{}ingest_trace_t1: {mbps:.1} MB/s", sizes.prefix);
+    metrics.push(Metric {
+        name: format!("{}ingest_trace_t1", sizes.prefix),
+        mbps,
+        bytes: logical,
+        byte_basis: ByteBasis::LogicalPreDedup,
+        headline: true,
+    });
+}
+
+fn rebalance_config() -> SigmaConfig {
+    SigmaConfig::builder()
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Node join then drain on a pre-populated cluster; physical container MB/s.
+fn rebalance_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let mut join_best = (0.0f64, 0u64);
+    let mut leave_best = (0.0f64, 0u64);
+    for _ in 0..sizes.reps {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(4, rebalance_config()));
+        for stream in 0..sizes.rebalance_streams {
+            let client = BackupClient::new(cluster.clone(), stream);
+            let data = random_bytes(sizes.rebalance_stream_bytes, 0xBA1A + stream);
+            client
+                .backup_bytes(&format!("stream-{stream}"), &data)
+                .expect("payload backup cannot fail");
+        }
+        cluster.flush();
+        let sw = Stopwatch::start();
+        let (join_id, join) = cluster.add_node_rebalanced().expect("no faults in bench");
+        let join_tp = sw.stop(join.bytes_moved);
+        assert!(join.bytes_moved > 0, "join must migrate data");
+        if join_tp.mb_per_sec() > join_best.0 {
+            join_best = (join_tp.mb_per_sec(), join.bytes_moved);
+        }
+        let sw = Stopwatch::start();
+        let leave = cluster.remove_node(join_id).expect("node is active");
+        let leave_tp = sw.stop(leave.bytes_moved);
+        assert!(leave.bytes_moved > 0, "drain must migrate data");
+        if leave_tp.mb_per_sec() > leave_best.0 {
+            leave_best = (leave_tp.mb_per_sec(), leave.bytes_moved);
+        }
+    }
+    for (name, (mbps, bytes)) in [
+        ("rebalance_join", join_best),
+        ("rebalance_leave", leave_best),
+    ] {
+        eprintln!("{}{name}: {mbps:.1} MB/s", sizes.prefix);
+        metrics.push(Metric {
+            name: format!("{}{name}", sizes.prefix),
+            mbps,
+            bytes,
+            byte_basis: ByteBasis::PhysicalMoved,
+            headline: true,
+        });
+    }
+}
+
+fn replay_config() -> SigmaConfig {
+    SigmaConfig::builder()
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024)
+        .durability(true)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Journals `bytes` of payload on a durable node and returns the image a
+/// crash would leave behind, optionally compacted first.
+fn journal_image(config: &SigmaConfig, bytes: usize, compacted: bool) -> Vec<u8> {
+    let node = DedupNode::new(0, config);
+    let client_chunks: Vec<Vec<u8>> = random_bytes(bytes, 0x4EC0)
+        .chunks(4096)
+        .map(<[u8]>::to_vec)
+        .collect();
+    for (i, window) in client_chunks.chunks(16).enumerate() {
+        let sc = SuperChunk::from_payloads(FingerprintAlgorithm::Sha1, i as u64, window.to_vec());
+        node.process_super_chunk(0, &sc, &sc.handprint(8))
+            .expect("payload ingest cannot fail");
+    }
+    node.try_flush().expect("no faults in bench");
+    if compacted {
+        node.compact_journal().expect("no faults in bench");
+    }
+    node.journal().expect("durable node has a journal").bytes()
+}
+
+/// Raw vs. compacted journal replay; MB/s of journal bytes consumed.
+fn replay_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let config = replay_config();
+    for (name, compacted) in [("replay_raw", false), ("replay_compacted", true)] {
+        let image = journal_image(&config, sizes.replay_payload_bytes, compacted);
+        let mbps = best_of(sizes.reps, || {
+            let journal = Arc::new(Journal::from_bytes(image.clone()));
+            let sw = Stopwatch::start();
+            let (node, report) =
+                DedupNode::recover(0, &config, journal).expect("recovery cannot fail");
+            let tp = sw.stop(image.len() as u64);
+            assert!(report.containers_recovered > 0);
+            std::hint::black_box(node);
+            tp.mb_per_sec()
+        });
+        eprintln!("{}{name}: {mbps:.1} MB/s", sizes.prefix);
+        metrics.push(Metric {
+            name: format!("{}{name}", sizes.prefix),
+            mbps,
+            bytes: image.len() as u64,
+            byte_basis: ByteBasis::JournalBytes,
+            headline: true,
+        });
+    }
+}
+
+fn gc_config() -> SigmaConfig {
+    // Threshold 1.0 compacts every container holding any dead byte, so the
+    // sweep reclaims all expired space deterministically — a stable basis for
+    // the trajectory gate (lower thresholds reclaim an amount that depends on
+    // how dead chunks happen to cluster into containers).
+    SigmaConfig::builder()
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024)
+        .gc_liveness_threshold(1.0)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Mark-and-sweep over a cluster with expired generations; MB/s of physical
+/// bytes reclaimed.
+fn gc_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let mut best = (0.0f64, 0u64);
+    for _ in 0..sizes.reps {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(4, gc_config()));
+        for stream in 0..sizes.gc_streams {
+            let dataset = generational_payloads(GenerationalPayloadParams {
+                seed: 0x6C_0DE ^ stream,
+                generations: sizes.gc_generations,
+                initial_size: sizes.gc_stream_bytes,
+                mutation_rate: 0.2,
+                growth_per_generation: sizes.gc_stream_bytes / 16,
+            });
+            for (generation, (name, data)) in dataset.iter().enumerate() {
+                let client =
+                    BackupClient::with_generation(cluster.clone(), stream, generation as u64);
+                client
+                    .backup_bytes(name, data)
+                    .expect("payload backup cannot fail");
+            }
+        }
+        cluster.flush();
+        for generation in 0..sizes.gc_expire {
+            cluster
+                .delete_generation(generation)
+                .expect("generation exists");
+        }
+        let sw = Stopwatch::start();
+        let gc = cluster.collect_garbage().expect("no faults in bench");
+        let tp = sw.stop(gc.bytes_reclaimed);
+        assert!(gc.bytes_reclaimed > 0, "expiry must reclaim space");
+        if tp.mb_per_sec() > best.0 {
+            best = (tp.mb_per_sec(), gc.bytes_reclaimed);
+        }
+    }
+    eprintln!("{}gc_reclaim: {:.1} MB/s", sizes.prefix, best.0);
+    metrics.push(Metric {
+        name: format!("{}gc_reclaim", sizes.prefix),
+        mbps: best.0,
+        bytes: best.1,
+        byte_basis: ByteBasis::PhysicalReclaimed,
+        headline: true,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_positive() {
+        assert!(calibrate() > 0.0);
+    }
+
+    #[test]
+    fn quick_run_produces_every_expected_metric() {
+        let report = run(&RunnerOptions {
+            quick: true,
+            label: "test".to_string(),
+        });
+        assert_eq!(report.mode, "quick");
+        assert!(report.calibration_mbps > 0.0);
+        assert!(report.ingest_speedup_vs_reference > 0.0);
+        for name in [
+            "quick/ingest_payload_t1",
+            "quick/ingest_payload_t4",
+            "quick/ingest_payload_reference_t1",
+            "quick/ingest_trace_t1",
+            "quick/rebalance_join",
+            "quick/rebalance_leave",
+            "quick/replay_raw",
+            "quick/replay_compacted",
+            "quick/gc_reclaim",
+        ] {
+            let metric = report.metric(name).unwrap_or_else(|| {
+                panic!("metric {name} missing from quick report");
+            });
+            assert!(metric.mbps > 0.0, "{name} must measure a positive rate");
+            assert!(metric.bytes > 0, "{name} must cover bytes");
+        }
+        // The quick report round-trips through the persisted JSON form.
+        let parsed = BenchReport::from_json(&report.to_json()).expect("report parses");
+        assert_eq!(parsed, report);
+    }
+}

@@ -1,7 +1,7 @@
 //! Basic content-defined chunking (CDC) driven by a Rabin rolling hash.
 
 use crate::Chunker;
-use sigma_hashkit::{RabinHasher, RabinParams, RollingHash};
+use sigma_hashkit::{RabinHasher, RabinParams};
 
 /// Rabin-based content-defined chunker with minimum/average/maximum chunk sizes.
 ///
@@ -87,31 +87,46 @@ impl CdcChunker {
     }
 }
 
+impl CdcChunker {
+    /// Length of the next chunk starting at the beginning of `data`.
+    ///
+    /// The divisor is a power of two, so `h % divisor == divisor - 1` is tested as
+    /// `h & mask == mask` with `mask = divisor - 1`; the [`RabinHasher::scan`]
+    /// skip-ahead never even reads the bytes below `min_size - window`.  The
+    /// per-call `hasher_template.clone()` of the old implementation (a ~9 KB copy
+    /// of both lookup tables per `chunk_boundaries` call) is gone: `scan` borrows
+    /// the template's tables and keeps its hash state in a register.
+    #[inline]
+    fn next_cut(&self, data: &[u8]) -> usize {
+        let limit = data.len().min(self.max_size);
+        let mask = self.divisor - 1;
+        self.hasher_template
+            .scan(&data[..limit], self.min_size, |_, h| h & mask == mask)
+            .unwrap_or(limit)
+    }
+}
+
 impl Chunker for CdcChunker {
     fn chunk_boundaries(&self, data: &[u8]) -> Vec<usize> {
         if data.is_empty() {
             return Vec::new();
         }
         let mut boundaries = Vec::with_capacity(data.len() / self.avg_size + 1);
-        let mut hasher = self.hasher_template.clone();
         let mut chunk_start = 0usize;
-        let mut pos = 0usize;
-
-        while pos < data.len() {
-            let h = hasher.roll(data[pos]);
-            pos += 1;
-            let chunk_len = pos - chunk_start;
-            let at_boundary = chunk_len >= self.min_size && h % self.divisor == self.divisor - 1;
-            if at_boundary || chunk_len >= self.max_size {
-                boundaries.push(pos);
-                chunk_start = pos;
-                hasher.reset();
-            }
-        }
-        if chunk_start < data.len() {
-            boundaries.push(data.len());
+        while chunk_start < data.len() {
+            let cut = self.next_cut(&data[chunk_start..]);
+            chunk_start += cut;
+            boundaries.push(chunk_start);
         }
         boundaries
+    }
+
+    fn first_boundary(&self, data: &[u8]) -> Option<usize> {
+        if data.is_empty() {
+            None
+        } else {
+            Some(self.next_cut(data))
+        }
     }
 
     fn average_chunk_size(&self) -> usize {
@@ -231,6 +246,47 @@ mod tests {
     #[should_panic(expected = "min <= avg <= max")]
     fn bad_parameters_panic() {
         CdcChunker::new(4096, 1024, 16 * 1024);
+    }
+
+    #[test]
+    fn boundaries_identical_to_scalar_reference() {
+        // Regression for the scan/skip-ahead rewrite (and the removal of the
+        // per-call hasher_template.clone()): boundaries must be byte-identical
+        // to the original per-byte implementation, including configurations
+        // where min_size is below the Rabin window (partial-window testing).
+        for (min, avg, max) in [
+            (1024, 4096, 16 * 1024),
+            (256, 1024, 4096),
+            (5, 10, 20),
+            (48, 64, 128),
+            (2048, 2048, 2048),
+        ] {
+            let optimized = CdcChunker::new(min, avg, max);
+            let reference = crate::reference::ReferenceCdcChunker::new(min, avg, max);
+            for seed in [3u64, 7, 11] {
+                let data = random_data(150_000, seed);
+                assert_eq!(
+                    optimized.chunk_boundaries(&data),
+                    reference.chunk_boundaries(&data),
+                    "cdc({},{},{}) seed {}",
+                    min,
+                    avg,
+                    max,
+                    seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_boundary_matches_full_scan() {
+        let data = random_data(100_000, 19);
+        let c = CdcChunker::with_average_4k();
+        assert_eq!(
+            c.first_boundary(&data),
+            c.chunk_boundaries(&data).first().copied()
+        );
+        assert_eq!(c.first_boundary(&[]), None);
     }
 
     proptest! {

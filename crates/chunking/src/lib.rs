@@ -34,13 +34,16 @@
 mod cdc;
 mod chunk;
 mod fixed;
+mod gear_cdc;
 mod params;
+pub mod reference;
 pub mod stream;
 mod tttd;
 
 pub use cdc::CdcChunker;
 pub use chunk::{Chunk, ChunkSpan};
 pub use fixed::StaticChunker;
+pub use gear_cdc::GearCdcChunker;
 pub use params::{ChunkerParams, ChunkingMethod};
 pub use tttd::{TttdChunker, TttdParams};
 
@@ -60,6 +63,18 @@ pub trait Chunker: Send + Sync {
 
     /// A short human-readable name for reports (e.g. `"sc-4096"`).
     fn name(&self) -> String;
+
+    /// Returns the end offset of just the *first* chunk of `data`, or `None`
+    /// for empty input.
+    ///
+    /// Semantically equivalent to `chunk_boundaries(data).first().copied()`
+    /// (the provided default), but every chunker in this crate scans left to
+    /// right and overrides this to stop at the first cut — the
+    /// [`stream::ChunkStream`] hot path calls it once per emitted chunk, and
+    /// rescanning the whole buffer per chunk would be quadratic.
+    fn first_boundary(&self, data: &[u8]) -> Option<usize> {
+        self.chunk_boundaries(data).first().copied()
+    }
 
     /// Splits `data` into owned [`Chunk`]s (convenience wrapper over
     /// [`chunk_boundaries`](Chunker::chunk_boundaries)).

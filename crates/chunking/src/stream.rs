@@ -31,7 +31,12 @@ pub struct ChunkStream<'a, R: Read> {
     /// Upper bound on a single chunk's size, used to size the refill buffer.
     max_chunk_size: usize,
     buffer: Vec<u8>,
-    /// Stream offset of `buffer[0]`.
+    /// Bytes at the front of `buffer` already emitted as chunks.  Emitting a
+    /// chunk only advances this cursor; the old per-chunk `drain(..take)` moved
+    /// the entire remaining buffer every iteration.  The buffer is compacted
+    /// once per refill instead (one memmove per ~`BUFFER_CHUNKS` chunks).
+    consumed: usize,
+    /// Stream offset of `buffer[consumed]`.
     buffer_offset: u64,
     eof: bool,
     errored: bool,
@@ -53,13 +58,29 @@ impl<'a, R: Read> ChunkStream<'a, R> {
             chunker,
             max_chunk_size,
             buffer: Vec::with_capacity(max_chunk_size * BUFFER_CHUNKS),
+            consumed: 0,
             buffer_offset: 0,
             eof: false,
             errored: false,
         }
     }
 
+    /// Unconsumed bytes currently buffered.
+    fn pending(&self) -> usize {
+        self.buffer.len() - self.consumed
+    }
+
     fn refill(&mut self) -> std::io::Result<()> {
+        // A first boundary computed on the pending bytes is stable under future
+        // refills as long as at least one maximum-size chunk is buffered, so
+        // nothing needs to be read until the pending region drops below that.
+        if self.eof || self.pending() >= self.max_chunk_size {
+            return Ok(());
+        }
+        if self.consumed > 0 {
+            self.buffer.drain(..self.consumed);
+            self.consumed = 0;
+        }
         let target = self.max_chunk_size * BUFFER_CHUNKS;
         let mut scratch = [0u8; 16 * 1024];
         while !self.eof && self.buffer.len() < target {
@@ -86,7 +107,8 @@ impl<R: Read> Iterator for ChunkStream<'_, R> {
             self.errored = true;
             return Some(Err(e));
         }
-        if self.buffer.is_empty() {
+        let pending = &self.buffer[self.consumed..];
+        if pending.is_empty() {
             return None;
         }
 
@@ -94,12 +116,14 @@ impl<R: Read> Iterator for ChunkStream<'_, R> {
         // left to right, so the first boundary depends only on the buffered prefix
         // and is stable under future refills (the buffer always holds at least one
         // maximum-size chunk unless we are at EOF).
-        let boundaries = self.chunker.chunk_boundaries(&self.buffer);
-        debug_assert!(!boundaries.is_empty());
-        let take = boundaries[0];
+        let take = self
+            .chunker
+            .first_boundary(pending)
+            .expect("chunker returned no boundary for non-empty input");
+        debug_assert!(take > 0 && take <= pending.len());
 
-        let data: Vec<u8> = self.buffer.drain(..take).collect();
-        let chunk = Chunk::new(self.buffer_offset, data);
+        let chunk = Chunk::new(self.buffer_offset, pending[..take].to_vec());
+        self.consumed += take;
         self.buffer_offset += take as u64;
         Some(Ok(chunk))
     }
@@ -129,11 +153,18 @@ mod tests {
         let chunks: Vec<Chunk> = ChunkStream::new(&data[..], chunker.as_ref(), 16 * 1024)
             .collect::<Result<_, _>>()
             .unwrap();
-        let mut rebuilt = Vec::new();
+        // Pre-reserve the known logical length: rebuilding into an uncapacitied
+        // Vec both reallocates repeatedly and hides silent truncation.
+        let mut rebuilt = Vec::with_capacity(data.len());
         for c in &chunks {
             assert_eq!(c.offset() as usize, rebuilt.len());
             rebuilt.extend_from_slice(c.data());
         }
+        assert_eq!(
+            rebuilt.len(),
+            data.len(),
+            "rebuilt stream length must match the logical input length"
+        );
         assert_eq!(rebuilt, data);
     }
 
@@ -146,6 +177,26 @@ mod tests {
             .collect();
         let in_memory: Vec<usize> = chunker.split(&data).iter().map(|c| c.len()).collect();
         assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn stream_matches_in_memory_chunking_for_content_defined() {
+        // Regression for the consumed-cursor rewrite: streamed boundaries must be
+        // byte-identical to whole-buffer chunking for every chunker family.
+        let data = random_data(400_000, 9);
+        for params in [
+            ChunkerParams::cdc(1024, 4096, 16 * 1024),
+            ChunkerParams::gear_cdc(1024, 4096, 16 * 1024),
+            ChunkerParams::tttd_default(),
+        ] {
+            let chunker = params.build();
+            let max = 32 * 1024;
+            let streamed: Vec<usize> = ChunkStream::new(&data[..], chunker.as_ref(), max)
+                .map(|c| c.unwrap().len())
+                .collect();
+            let in_memory: Vec<usize> = chunker.split(&data).iter().map(|c| c.len()).collect();
+            assert_eq!(streamed, in_memory, "chunker {}", chunker.name());
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::Chunker;
 use serde::{Deserialize, Serialize};
-use sigma_hashkit::{RabinHasher, RabinParams, RollingHash};
+use sigma_hashkit::{RabinHasher, RabinParams};
 
 /// Parameters of the TTTD chunker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +114,43 @@ impl Default for TttdChunker {
     }
 }
 
+impl TttdChunker {
+    /// Length of the next chunk starting at the beginning of `data`.
+    ///
+    /// One [`RabinHasher::scan`] pass (skip-ahead below `min_size`, no template
+    /// clone) tests both divisor conditions per position: a main-divisor match
+    /// cuts immediately; backup-divisor matches are remembered so that a chunk
+    /// reaching `max_size` without a main match falls back to the most recent
+    /// backup boundary instead of cutting blindly.  Both divisors are powers of
+    /// two, so the modulo conditions reduce to mask tests.
+    #[inline]
+    fn next_cut(&self, data: &[u8]) -> usize {
+        let p = self.params;
+        let limit = data.len().min(p.max_size);
+        let main_mask = self.main_divisor - 1;
+        let backup_mask = self.backup_divisor - 1;
+        let mut backup_boundary: Option<usize> = None;
+        let found = self
+            .hasher_template
+            .scan(&data[..limit], p.min_size, |pos, h| {
+                if h & main_mask == main_mask {
+                    return true;
+                }
+                if h & backup_mask == backup_mask {
+                    backup_boundary = Some(pos);
+                }
+                false
+            });
+        match found {
+            Some(cut) => cut,
+            // Data ran out before max_size: the final (possibly short) chunk.
+            None if limit < p.max_size => limit,
+            // Forced cut at max_size: prefer the latest backup boundary.
+            None => backup_boundary.unwrap_or(limit),
+        }
+    }
+}
+
 impl Chunker for TttdChunker {
     fn chunk_boundaries(&self, data: &[u8]) -> Vec<usize> {
         if data.is_empty() {
@@ -121,44 +158,21 @@ impl Chunker for TttdChunker {
         }
         let p = self.params;
         let mut boundaries = Vec::with_capacity(data.len() / p.major_mean + 1);
-        let mut hasher = self.hasher_template.clone();
         let mut chunk_start = 0usize;
-        let mut backup_boundary: Option<usize> = None;
-        let mut pos = 0usize;
-
-        while pos < data.len() {
-            let h = hasher.roll(data[pos]);
-            pos += 1;
-            let chunk_len = pos - chunk_start;
-
-            if chunk_len < p.min_size {
-                continue;
-            }
-            if h % self.main_divisor == self.main_divisor - 1 {
-                boundaries.push(pos);
-                chunk_start = pos;
-                backup_boundary = None;
-                hasher.reset();
-                continue;
-            }
-            if h % self.backup_divisor == self.backup_divisor - 1 {
-                backup_boundary = Some(pos);
-            }
-            if chunk_len >= p.max_size {
-                let cut = backup_boundary.unwrap_or(pos);
-                boundaries.push(cut);
-                chunk_start = cut;
-                backup_boundary = None;
-                // Re-scan from the cut point: rewind the position and restart the
-                // rolling hash so the next chunk sees its own prefix.
-                pos = cut;
-                hasher.reset();
-            }
-        }
-        if chunk_start < data.len() {
-            boundaries.push(data.len());
+        while chunk_start < data.len() {
+            let cut = self.next_cut(&data[chunk_start..]);
+            chunk_start += cut;
+            boundaries.push(chunk_start);
         }
         boundaries
+    }
+
+    fn first_boundary(&self, data: &[u8]) -> Option<usize> {
+        if data.is_empty() {
+            None
+        } else {
+            Some(self.next_cut(data))
+        }
     }
 
     fn average_chunk_size(&self) -> usize {
@@ -271,6 +285,52 @@ mod tests {
             count_max(&tttd_b) <= count_max(&cdc_b),
             "TTTD should not force more max-size cuts than plain CDC"
         );
+    }
+
+    #[test]
+    fn boundaries_identical_to_scalar_reference() {
+        // Regression for the scan rewrite: both divisor conditions, the backup
+        // fallback on forced max-size cuts, and the post-cut rescan must all
+        // match the original per-byte implementation bit for bit.
+        for params in [
+            TttdParams::default(),
+            TttdParams {
+                min_size: 256,
+                minor_mean: 512,
+                major_mean: 1024,
+                max_size: 8192,
+            },
+            TttdParams {
+                min_size: 16,
+                minor_mean: 32,
+                major_mean: 64,
+                max_size: 256,
+            },
+        ] {
+            let optimized = TttdChunker::new(params);
+            let reference = crate::reference::ReferenceTttdChunker::new(params);
+            for seed in [5u64, 13, 29] {
+                let data = random_data(200_000, seed);
+                assert_eq!(
+                    optimized.chunk_boundaries(&data),
+                    reference.chunk_boundaries(&data),
+                    "params {:?} seed {}",
+                    params,
+                    seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_boundary_matches_full_scan() {
+        let data = random_data(150_000, 41);
+        let c = TttdChunker::default();
+        assert_eq!(
+            c.first_boundary(&data),
+            c.chunk_boundaries(&data).first().copied()
+        );
+        assert_eq!(c.first_boundary(&[]), None);
     }
 
     proptest! {

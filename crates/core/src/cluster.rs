@@ -463,7 +463,10 @@ impl DedupCluster {
     /// # Errors
     ///
     /// Returns [`SigmaError::FileNotFound`] for unknown file IDs and propagates chunk
-    /// read errors.
+    /// read errors.  Returns [`SigmaError::RestoreTruncated`] when the rebuilt
+    /// byte count disagrees with the logical size the recipe records — the
+    /// end-to-end guard that a stored chunk payload shrinking or growing out
+    /// from under its recipe can never surface as a silently corrupt restore.
     pub fn restore_file(&self, file_id: FileId) -> Result<Vec<u8>> {
         let recipe = self
             .director
@@ -473,6 +476,13 @@ impl DedupCluster {
         for entry in &recipe.chunks {
             let data = self.read_chunk(entry.node, &entry.fingerprint)?;
             out.extend_from_slice(&data);
+        }
+        if out.len() as u64 != recipe.size {
+            return Err(SigmaError::RestoreTruncated {
+                file_id,
+                expected: recipe.size,
+                actual: out.len() as u64,
+            });
         }
         Ok(out)
     }

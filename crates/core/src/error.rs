@@ -125,6 +125,18 @@ pub enum SigmaError {
     UnknownNode(usize),
     /// Membership operation would leave the cluster without any node.
     ClusterTooSmall,
+    /// A restore rebuilt fewer (or more) bytes than the file recipe records —
+    /// chunk payloads and recipe metadata disagree, so the returned data would
+    /// be corrupt.  Restores fail loudly instead of handing back a silently
+    /// truncated file.
+    RestoreTruncated {
+        /// File whose restore diverged.
+        file_id: u64,
+        /// Logical size the recipe records.
+        expected: u64,
+        /// Bytes the chunk payloads actually rebuilt.
+        actual: u64,
+    },
     /// The routing scheme requires file boundaries but none were provided.
     FileBoundariesRequired {
         /// Name of the routing scheme that raised the error.
@@ -166,9 +178,9 @@ impl SigmaError {
             SigmaError::Storage(StorageError::Crashed) => ServiceCode::Unavailable,
             SigmaError::Storage(_) => ServiceCode::Internal,
             SigmaError::FileNotFound(_) | SigmaError::BackupNotFound(_) => ServiceCode::NotFound,
-            SigmaError::ChunkMissing { .. } | SigmaError::PayloadUnavailable { .. } => {
-                ServiceCode::Internal
-            }
+            SigmaError::ChunkMissing { .. }
+            | SigmaError::PayloadUnavailable { .. }
+            | SigmaError::RestoreTruncated { .. } => ServiceCode::Internal,
             SigmaError::ChunkMigrated { .. } => ServiceCode::Unavailable,
             SigmaError::UnknownNode(_) => ServiceCode::NotFound,
             SigmaError::ClusterTooSmall => ServiceCode::Conflict,
@@ -202,6 +214,15 @@ impl std::fmt::Display for SigmaError {
             SigmaError::ChunkMigrated { fingerprint, node } => {
                 write!(f, "chunk {} was migrated to node {}", fingerprint, node)
             }
+            SigmaError::RestoreTruncated {
+                file_id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "restore of file {} rebuilt {} bytes but the recipe records {}",
+                file_id, actual, expected
+            ),
             SigmaError::UnknownNode(id) => write!(f, "no active node with id {}", id),
             SigmaError::ClusterTooSmall => {
                 write!(f, "cannot remove the last node of a cluster")
@@ -302,6 +323,14 @@ mod tests {
                     node: 1,
                 },
                 ServiceCode::Unavailable,
+            ),
+            (
+                SigmaError::RestoreTruncated {
+                    file_id: 3,
+                    expected: 4096,
+                    actual: 1024,
+                },
+                ServiceCode::Internal,
             ),
             (SigmaError::UnknownNode(4), ServiceCode::NotFound),
             (SigmaError::ClusterTooSmall, ServiceCode::Conflict),

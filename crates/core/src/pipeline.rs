@@ -182,33 +182,76 @@ impl IngestPipeline {
     /// still run to completion (their unique chunks are stored, but no file is
     /// registered for any stream when an error is returned).
     pub fn backup_streams(&self, streams: Vec<StreamPayload>) -> Result<Vec<FileBackupReport>> {
+        let chunker = self.cluster.config().chunker.build();
+        self.backup_streams_with_chunker(streams, chunker.as_ref())
+    }
+
+    /// Runs the pipeline with an explicit chunker instead of the configured one.
+    ///
+    /// The `sigma-bench` runner uses this to drive the scalar *reference*
+    /// chunkers through the identical pipeline in the same process, so the
+    /// persisted before/after ingest numbers differ only in the chunker
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`backup_streams`](IngestPipeline::backup_streams).
+    pub fn backup_streams_with_chunker(
+        &self,
+        streams: Vec<StreamPayload>,
+        chunker: &dyn sigma_chunking::Chunker,
+    ) -> Result<Vec<FileBackupReport>> {
+        let algorithm = self.cluster.config().fingerprint_algorithm;
+        self.backup_streams_with(streams, chunker, &|data| algorithm.fingerprint(data))
+    }
+
+    /// Runs the pipeline with an explicit chunker *and* fingerprint function.
+    ///
+    /// The most general entry point: benchmarks swap in the reference hot-loop
+    /// implementations (scalar chunker scan, un-unrolled SHA-1) while keeping
+    /// every other stage identical.  The fingerprint function must be a drop-in
+    /// for the configured algorithm — same digests in, same dedup decisions
+    /// out — or restored data will not match what deduplication stored.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`backup_streams`](IngestPipeline::backup_streams).
+    pub fn backup_streams_with(
+        &self,
+        streams: Vec<StreamPayload>,
+        chunker: &dyn sigma_chunking::Chunker,
+        fingerprint: &(dyn Fn(&[u8]) -> sigma_hashkit::Fingerprint + Sync),
+    ) -> Result<Vec<FileBackupReport>> {
         let config = self.cluster.config().clone();
-        let chunker = config.chunker.build();
-        let algorithm = config.fingerprint_algorithm;
 
         let names: Vec<String> = streams.iter().map(|s| s.name.clone()).collect();
         let stream_ids: Vec<u64> = streams.iter().map(|s| s.stream_id).collect();
 
-        // Stage 1: chunk every stream (streams in parallel).
-        let chunked: Vec<Vec<Vec<u8>>> = run_pool(
-            self.parallelism,
-            streams.into_iter().map(|s| s.data).collect(),
-            |_, data| {
-                chunker
-                    .split(&data)
-                    .into_iter()
-                    .map(|c| c.into_data())
-                    .collect()
-            },
-        );
+        // The stream buffers are the scratch the whole pipeline works out of:
+        // stages 1 and 2 only ever *borrow* them (boundaries + fingerprints over
+        // slices), and the single per-chunk payload copy happens in stage 3,
+        // straight into the exactly-sized Vec the super-chunk will own.  The old
+        // shape materialised every chunk as an intermediate Vec in stage 1 — one
+        // extra allocation and copy per chunk.
+        let datas: Vec<Vec<u8>> = streams.into_iter().map(|s| s.data).collect();
+
+        // Stage 1: chunk-boundary scan per stream (streams in parallel).
+        let boundaries: Vec<Vec<usize>> =
+            run_pool(self.parallelism, (0..datas.len()).collect(), |_, stream| {
+                chunker.chunk_boundaries(&datas[stream])
+            });
+        // Chunk `j` of stream `s` spans `chunk_span(&boundaries[s], j)`.
+        let chunk_span =
+            |b: &[usize], j: usize| -> (usize, usize) { (if j == 0 { 0 } else { b[j - 1] }, b[j]) };
 
         // Stage 2: fingerprint fixed-size chunk ranges (parallel across and within
-        // streams), then write the descriptors back in chunk order.
+        // streams) directly from the stream buffers, then write the descriptors
+        // back in chunk order.
         let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
-        for (stream, chunks) in chunked.iter().enumerate() {
+        for (stream, bounds) in boundaries.iter().enumerate() {
             let mut start = 0;
-            while start < chunks.len() {
-                let end = (start + FINGERPRINT_TASK_CHUNKS).min(chunks.len());
+            while start < bounds.len() {
+                let end = (start + FINGERPRINT_TASK_CHUNKS).min(bounds.len());
                 tasks.push((stream, start, end));
                 start = end;
             }
@@ -217,39 +260,44 @@ impl IngestPipeline {
             self.parallelism,
             tasks.clone(),
             |_, (stream, start, end)| {
-                chunked[stream][start..end]
-                    .iter()
-                    .map(|chunk| {
-                        ChunkDescriptor::new(algorithm.fingerprint(chunk), chunk.len() as u32)
+                let data = &datas[stream];
+                let bounds = &boundaries[stream];
+                (start..end)
+                    .map(|j| {
+                        let (lo, hi) = chunk_span(bounds, j);
+                        ChunkDescriptor::new(fingerprint(&data[lo..hi]), (hi - lo) as u32)
                     })
                     .collect()
             },
         );
-        let mut descriptors: Vec<Vec<ChunkDescriptor>> = chunked
+        let mut descriptors: Vec<Vec<ChunkDescriptor>> = boundaries
             .iter()
-            .map(|c| Vec::with_capacity(c.len()))
+            .map(|b| Vec::with_capacity(b.len()))
             .collect();
         for ((stream, _, _), descs) in tasks.into_iter().zip(fingerprinted) {
             descriptors[stream].extend(descs);
         }
 
-        // Stage 3: assemble super-chunks in order (streams in parallel).
+        // Stage 3: assemble super-chunks in order (streams in parallel), copying
+        // each chunk payload out of the stream buffer exactly once.
         let super_chunk_size = config.super_chunk_size;
         let assembled: Vec<(u64, Vec<SuperChunk>)> = run_pool(
             self.parallelism,
-            chunked.into_iter().zip(descriptors).collect(),
-            |i, (payloads, descs)| {
-                let logical: u64 = descs.iter().map(|d| d.len as u64).sum();
+            descriptors.into_iter().enumerate().collect(),
+            |_, (stream, descs)| {
+                let data = &datas[stream];
+                let bounds = &boundaries[stream];
+                let logical = data.len() as u64;
                 let mut builder = SuperChunkBuilder::new(super_chunk_size);
                 let mut supers = Vec::new();
-                for (descriptor, payload) in descs.into_iter().zip(payloads) {
-                    if let Some(sc) = builder.push_chunk(descriptor, payload) {
+                for (j, descriptor) in descs.into_iter().enumerate() {
+                    let (lo, hi) = chunk_span(bounds, j);
+                    if let Some(sc) = builder.push_chunk(descriptor, data[lo..hi].to_vec()) {
                         supers.push(sc);
                     }
                 }
                 supers.extend(builder.finish());
                 debug_assert!(builder.is_empty(), "finish drains the builder");
-                let _ = i;
                 (logical, supers)
             },
         )

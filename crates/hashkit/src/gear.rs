@@ -58,6 +58,81 @@ impl GearHasher {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Finds the first prefix length `p` in `first_check..=data.len()` whose gear
+    /// hash satisfies `hash & mask == mask`, or `None` if no prefix does.
+    ///
+    /// Bit-identical to rolling every byte of `data` through a freshly reset
+    /// [`GearHasher`] and testing `value() & mask == mask` at every prefix length
+    /// `>= first_check`, but much faster:
+    ///
+    /// * **skip-ahead** — a byte's contribution is shifted out of the word after
+    ///   [`GEAR_EFFECTIVE_WINDOW`] rolls, so the scan starts feeding at
+    ///   `first_check - GEAR_EFFECTIVE_WINDOW` instead of 0;
+    /// * **4-lane unroll** — the loop-carried dependency `h = (h << 1) + T[b]` is
+    ///   broken by computing the next four hash values directly from the block
+    ///   entry hash (`h << k` plus independently shifted table entries), so the
+    ///   four table lookups and mask tests pipeline instead of serialising.
+    pub fn find_boundary(data: &[u8], first_check: usize, mask: u64) -> Option<usize> {
+        let n = data.len();
+        let first = first_check.max(1);
+        if first > n {
+            return None;
+        }
+        let feed_start = first.saturating_sub(GEAR_EFFECTIVE_WINDOW);
+
+        // Warm-up: positions below `first` can never be boundaries, so only the
+        // hash state is carried across them.
+        let mut h = 0u64;
+        for &b in &data[feed_start..first - 1] {
+            h = (h << 1).wrapping_add(GEAR_TABLE[b as usize]);
+        }
+
+        // Test region: every rolled byte is a boundary candidate.  Four lanes per
+        // iteration, each derived from the block entry hash `h` alone.
+        let region = &data[first - 1..];
+        let mut pos = first - 1;
+        let mut blocks = region.chunks_exact(4);
+        for block in &mut blocks {
+            let t0 = GEAR_TABLE[block[0] as usize];
+            let t1 = GEAR_TABLE[block[1] as usize];
+            let t2 = GEAR_TABLE[block[2] as usize];
+            let t3 = GEAR_TABLE[block[3] as usize];
+            let h1 = (h << 1).wrapping_add(t0);
+            let h2 = (h << 2).wrapping_add(t0 << 1).wrapping_add(t1);
+            let h3 = (h << 3)
+                .wrapping_add(t0 << 2)
+                .wrapping_add(t1 << 1)
+                .wrapping_add(t2);
+            let h4 = (h << 4)
+                .wrapping_add(t0 << 3)
+                .wrapping_add(t1 << 2)
+                .wrapping_add(t2 << 1)
+                .wrapping_add(t3);
+            if h1 & mask == mask {
+                return Some(pos + 1);
+            }
+            if h2 & mask == mask {
+                return Some(pos + 2);
+            }
+            if h3 & mask == mask {
+                return Some(pos + 3);
+            }
+            if h4 & mask == mask {
+                return Some(pos + 4);
+            }
+            h = h4;
+            pos += 4;
+        }
+        for &b in blocks.remainder() {
+            h = (h << 1).wrapping_add(GEAR_TABLE[b as usize]);
+            pos += 1;
+            if h & mask == mask {
+                return Some(pos);
+            }
+        }
+        None
+    }
 }
 
 impl RollingHash for GearHasher {
@@ -114,7 +189,42 @@ mod tests {
         assert_eq!(h.value(), 0);
     }
 
+    /// Scalar reference for [`GearHasher::find_boundary`]: roll every byte from a
+    /// reset state and test every prefix length `>= first_check`.
+    fn scalar_find_boundary(data: &[u8], first_check: usize, mask: u64) -> Option<usize> {
+        let mut h = GearHasher::new();
+        for (i, &b) in data.iter().enumerate() {
+            let v = h.roll(b);
+            if i + 1 >= first_check.max(1) && v & mask == mask {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn find_boundary_handles_edges() {
+        assert_eq!(GearHasher::find_boundary(&[], 0, 0x3), None);
+        assert_eq!(GearHasher::find_boundary(&[1, 2, 3], 4, 0x3), None);
+        // mask 0 matches every position: the first tested prefix wins.
+        assert_eq!(GearHasher::find_boundary(&[9; 32], 5, 0), Some(5));
+        assert_eq!(GearHasher::find_boundary(&[9; 32], 0, 0), Some(1));
+    }
+
     proptest! {
+        #[test]
+        fn prop_find_boundary_matches_scalar(
+            data in proptest::collection::vec(any::<u8>(), 0..700),
+            first_check in 0usize..260,
+            mask_bits in 1u32..9,
+        ) {
+            let mask = (1u64 << mask_bits) - 1;
+            prop_assert_eq!(
+                GearHasher::find_boundary(&data, first_check, mask),
+                scalar_find_boundary(&data, first_check, mask),
+            );
+        }
+
         #[test]
         fn prop_old_bytes_age_out(
             prefix_a in proptest::collection::vec(any::<u8>(), 0..100),

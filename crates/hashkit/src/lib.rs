@@ -37,11 +37,12 @@ mod fnv;
 mod gear;
 mod md5;
 mod rabin;
+pub mod reference;
 mod sha1;
 
 pub use fingerprint::{Fingerprint, ParseFingerprintError};
 pub use fnv::{fnv1a_32, fnv1a_64, Fnv64};
-pub use gear::{GearHasher, GEAR_TABLE};
+pub use gear::{GearHasher, GEAR_EFFECTIVE_WINDOW, GEAR_TABLE};
 pub use md5::Md5;
 pub use rabin::{RabinHasher, RabinParams, DEFAULT_IRREDUCIBLE_POLY};
 pub use sha1::Sha1;

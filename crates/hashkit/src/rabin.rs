@@ -101,6 +101,12 @@ pub struct RabinHasher {
     append_table: [u64; 256],
     /// Remove table: contribution of the outgoing (oldest) window byte.
     remove_table: [u64; 256],
+    /// `j * x^deg mod P` — the pure reduction of an overflowing byte.
+    r1_table: [u64; 256],
+    /// `j * x^(deg+8) mod P` — reduction of a byte overflowing two positions up.
+    r2_table: [u64; 256],
+    /// `j * x^(8W) mod P` — an outgoing byte's contribution advanced one step.
+    remove_shift_table: [u64; 256],
     window: Vec<u8>,
     window_pos: usize,
     window_filled: usize,
@@ -146,12 +152,29 @@ impl RabinHasher {
             *entry = polymulmod(j as u64, x_out, params.poly);
         }
 
+        // Tables for the two-byte-per-step scan: pure reductions of a byte
+        // overflowing at x^deg and x^(deg+8), plus the outgoing byte's
+        // contribution advanced by one append (x^(8(W-1)) * x^8 = x^(8W)).
+        let x_deg8_mod = polymulmod(x_deg_mod, x8, params.poly);
+        let x_out_shifted = polymulmod(x_out, x8, params.poly);
+        let mut r1_table = [0u64; 256];
+        let mut r2_table = [0u64; 256];
+        let mut remove_shift_table = [0u64; 256];
+        for j in 0..256usize {
+            r1_table[j] = polymulmod(j as u64, x_deg_mod, params.poly);
+            r2_table[j] = polymulmod(j as u64, x_deg8_mod, params.poly);
+            remove_shift_table[j] = polymulmod(j as u64, x_out_shifted, params.poly);
+        }
+
         RabinHasher {
             deg,
             mask,
             shift,
             append_table,
             remove_table,
+            r1_table,
+            r2_table,
+            remove_shift_table,
             window: vec![0u8; params.window_size],
             window_pos: 0,
             window_filled: 0,
@@ -180,6 +203,120 @@ impl RabinHasher {
         let top = (hash >> self.shift) as usize & 0xff;
         (((hash << 8) | byte as u64) ^ self.append_table[top]) & self.mask
     }
+
+    /// Streams the rolling hash over `data` from a reset state, calling
+    /// `test(p, hash)` for every 1-based prefix length `p >= first_check`, and
+    /// returns the first `p` for which `test` returns `true`.
+    ///
+    /// Bit-identical to rolling every byte of `data` through a freshly reset
+    /// hasher and testing `value()` at each qualifying prefix length, but the
+    /// hot loop avoids all the per-byte overhead of [`RollingHash::roll`]:
+    ///
+    /// * **skip-ahead** — the hash is a function of the last `window_size` bytes
+    ///   only, so feeding starts at `first_check - window_size` instead of 0
+    ///   (the bytes below the minimum chunk size are never even read);
+    /// * **no ring buffer** — the outgoing window byte is read straight from the
+    ///   input slice, so there is no window `Vec`, no write-back, and no
+    ///   per-byte `% window_len` division;
+    /// * **two-byte stride** — the steady-state loop advances two bytes per
+    ///   iteration, computing both the intermediate and the two-step hash
+    ///   straight from the previous state via independent table lookups
+    ///   (GF(2) linearity), so the serial load-to-load append chain of the
+    ///   per-byte formulation is cut in half.
+    ///
+    /// The hasher's own window state is untouched; `scan` only borrows the
+    /// precomputed tables.
+    pub fn scan<F>(&self, data: &[u8], first_check: usize, mut test: F) -> Option<usize>
+    where
+        F: FnMut(usize, u64) -> bool,
+    {
+        let w = self.window.len();
+        let n = data.len();
+        let first = first_check.max(1);
+        if first > n {
+            return None;
+        }
+        let feed_start = first.saturating_sub(w);
+
+        // Window warm-up: append without removal.  Positions below `first` are
+        // carried silently; the last warm-up byte can already be a candidate.
+        let warm_end = (feed_start + w).min(n);
+        let mut hash = 0u64;
+        let mut p = feed_start;
+        for &b in &data[feed_start..warm_end] {
+            hash = self.append_byte(hash, b);
+            p += 1;
+            if p >= first && test(p, hash) {
+                return Some(p);
+            }
+        }
+        if warm_end < feed_start + w {
+            return None;
+        }
+
+        // Steady state: the window is full, the outgoing byte comes straight from
+        // the slice `w` positions back.
+        let incoming = &data[warm_end..];
+        let outgoing = &data[warm_end - w..n - w];
+
+        if self.deg >= 17 {
+            // Two bytes per iteration with *no* serial append chain between
+            // them.  Both the intermediate hash `h1` and the two-step hash
+            // `h2` are computed directly from the previous state `g` — the
+            // per-byte formulation's loop-carried chain (table load whose
+            // index depends on the hash just produced) is replaced by one
+            // level of independent lookups per two bytes.  Algebra (all
+            // GF(2)-linear, so removals and appends distribute):
+            //   h1 = append(g, in1)
+            //      = (g & low8) << 8 | in1          ^ r1[g >> (deg-8)]
+            //   h2 = append(append(g, in1) ^ rm[out2], in2)
+            //      = (g & low16) << 16 | in1:in2    ^ r2[g >> (deg-8)]
+            //        ^ r1[(g >> (deg-16)) & 0xff]   ^ rm_shift[out2]
+            let low8 = (1u64 << (self.deg - 8)) - 1;
+            let low16 = (1u64 << (self.deg - 16)) - 1;
+            let top = self.deg - 8;
+            let mid = self.deg - 16;
+            let mut pairs_in = incoming.chunks_exact(2);
+            let mut pairs_out = outgoing.chunks_exact(2);
+            for (inc, out) in (&mut pairs_in).zip(&mut pairs_out) {
+                let g = hash ^ self.remove_table[out[0] as usize];
+                let gt = (g >> top) as usize;
+                let h1 = (((g & low8) << 8) | inc[0] as u64) ^ self.r1_table[gt];
+                let h2 = (((g & low16) << 16) | ((inc[0] as u64) << 8) | inc[1] as u64)
+                    ^ self.r2_table[gt]
+                    ^ self.r1_table[(g >> mid) as usize & 0xff]
+                    ^ self.remove_shift_table[out[1] as usize];
+                hash = h2;
+                if test(p + 1, h1) {
+                    return Some(p + 1);
+                }
+                if test(p + 2, h2) {
+                    return Some(p + 2);
+                }
+                p += 2;
+            }
+            for (&new, &old) in pairs_in.remainder().iter().zip(pairs_out.remainder()) {
+                hash ^= self.remove_table[old as usize];
+                hash = self.append_byte(hash, new);
+                p += 1;
+                if test(p, hash) {
+                    return Some(p);
+                }
+            }
+            return None;
+        }
+
+        // Narrow polynomials (deg < 17): plain rolling step.
+        for (&new, &old) in incoming.iter().zip(outgoing) {
+            hash ^= self.remove_table[old as usize];
+            hash = self.append_byte(hash, new);
+            p += 1;
+            if test(p, hash) {
+                return Some(p);
+            }
+        }
+        None
+    }
 }
 
 impl Default for RabinHasher {
@@ -204,7 +341,10 @@ impl RollingHash for RabinHasher {
             self.window_filled += 1;
         }
         self.window[self.window_pos] = byte;
-        self.window_pos = (self.window_pos + 1) % self.window.len();
+        self.window_pos += 1;
+        if self.window_pos == self.window.len() {
+            self.window_pos = 0;
+        }
         self.hash = self.append_byte(self.hash, byte);
         self.hash
     }
@@ -332,5 +472,79 @@ mod tests {
                 prop_assert!(h.roll(byte) < limit);
             }
         }
+
+        #[test]
+        fn prop_scan_matches_scalar_roll(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            first_check in 0usize..300,
+            mask_bits in 1u32..10,
+        ) {
+            let params = RabinParams { window_size: 48, ..RabinParams::default() };
+            let hasher = RabinHasher::new(params);
+            let mask = (1u64 << mask_bits) - 1;
+
+            // Scalar reference: roll every byte from a reset state, test every
+            // prefix length >= first_check.
+            let mut scalar = RabinHasher::new(params);
+            let mut expected = None;
+            for (i, &b) in data.iter().enumerate() {
+                let h = scalar.roll(b);
+                if i + 1 >= first_check.max(1) && h & mask == mask {
+                    expected = Some(i + 1);
+                    break;
+                }
+            }
+
+            let got = hasher.scan(&data, first_check, |_, h| h & mask == mask);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn prop_scan_small_window_partial_fill(
+            data in proptest::collection::vec(any::<u8>(), 0..80),
+            first_check in 0usize..20,
+        ) {
+            // first_check below the window size exercises the partial-window
+            // warm-up path (positions tested before the window is full).
+            let params = RabinParams { window_size: 32, ..RabinParams::default() };
+            let hasher = RabinHasher::new(params);
+            let mask = 0x7u64;
+
+            let mut scalar = RabinHasher::new(params);
+            let mut expected = None;
+            for (i, &b) in data.iter().enumerate() {
+                let h = scalar.roll(b);
+                if i + 1 >= first_check.max(1) && h & mask == mask {
+                    expected = Some(i + 1);
+                    break;
+                }
+            }
+
+            let got = hasher.scan(&data, first_check, |_, h| h & mask == mask);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn scan_reports_positions_in_order_and_at_least_first_check() {
+        let hasher = RabinHasher::with_defaults();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut seen = Vec::new();
+        let got = hasher.scan(&data, 100, |p, _| {
+            seen.push(p);
+            false
+        });
+        assert_eq!(got, None);
+        assert_eq!(seen.first(), Some(&100));
+        assert_eq!(seen.last(), Some(&data.len()));
+        assert!(seen.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn scan_first_check_past_end_returns_none() {
+        let hasher = RabinHasher::with_defaults();
+        let data = vec![7u8; 64];
+        assert_eq!(hasher.scan(&data, 65, |_, _| true), None);
+        assert_eq!(hasher.scan(&data, 64, |_, _| true), Some(64));
     }
 }

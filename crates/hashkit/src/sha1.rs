@@ -49,35 +49,162 @@ impl Default for Sha1 {
 
 impl Sha1 {
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        let mut w = [0u32; 80];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
+        // 16-word circular message schedule instead of the expanded 80-word
+        // array: the working set stays in registers/L1 and each round's
+        // schedule word is computed exactly when needed.  The four stages are
+        // separate fixed-trip loops so no round pays a `match` on its index,
+        // and the boolean functions use their cheapest 3-op forms.
+        let mut w = [0u32; 16];
+        for (i, word) in w.iter_mut().enumerate() {
             *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
 
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
 
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
-            };
-            let temp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = temp;
+        // Schedule word for round $i (16..80): w[i-3] ^ w[i-8] ^ w[i-14] ^
+        // w[i-16] rotated left 1, indices mod 16.
+        macro_rules! s {
+            ($i:expr) => {{
+                let x = (w[($i + 13) & 15] ^ w[($i + 8) & 15] ^ w[($i + 2) & 15] ^ w[$i & 15])
+                    .rotate_left(1);
+                w[$i & 15] = x;
+                x
+            }};
         }
+        // One round with explicit register roles: the caller rotates the
+        // argument order instead of the body shuffling five variables, so the
+        // only per-round data movement is the two rotates the spec demands.
+        macro_rules! rnd {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:expr, $k:expr, $wi:expr) => {
+                $e = $e
+                    .wrapping_add($a.rotate_left(5))
+                    .wrapping_add($f)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                $b = $b.rotate_left(30);
+            };
+        }
+        macro_rules! r_ch {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $wi:expr) => {
+                rnd!(
+                    $a,
+                    $b,
+                    $c,
+                    $d,
+                    $e,
+                    $d ^ ($b & ($c ^ $d)),
+                    0x5A82_7999u32,
+                    $wi
+                )
+            };
+        }
+        macro_rules! r_p1 {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $wi:expr) => {
+                rnd!($a, $b, $c, $d, $e, $b ^ $c ^ $d, 0x6ED9_EBA1u32, $wi)
+            };
+        }
+        macro_rules! r_maj {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $wi:expr) => {
+                rnd!(
+                    $a,
+                    $b,
+                    $c,
+                    $d,
+                    $e,
+                    ($b & $c) | ($d & ($b | $c)),
+                    0x8F1B_BCDCu32,
+                    $wi
+                )
+            };
+        }
+        macro_rules! r_p2 {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $wi:expr) => {
+                rnd!($a, $b, $c, $d, $e, $b ^ $c ^ $d, 0xCA62_C1D6u32, $wi)
+            };
+        }
+
+        r_ch!(a, b, c, d, e, w[0]);
+        r_ch!(e, a, b, c, d, w[1]);
+        r_ch!(d, e, a, b, c, w[2]);
+        r_ch!(c, d, e, a, b, w[3]);
+        r_ch!(b, c, d, e, a, w[4]);
+        r_ch!(a, b, c, d, e, w[5]);
+        r_ch!(e, a, b, c, d, w[6]);
+        r_ch!(d, e, a, b, c, w[7]);
+        r_ch!(c, d, e, a, b, w[8]);
+        r_ch!(b, c, d, e, a, w[9]);
+        r_ch!(a, b, c, d, e, w[10]);
+        r_ch!(e, a, b, c, d, w[11]);
+        r_ch!(d, e, a, b, c, w[12]);
+        r_ch!(c, d, e, a, b, w[13]);
+        r_ch!(b, c, d, e, a, w[14]);
+        r_ch!(a, b, c, d, e, w[15]);
+        r_ch!(e, a, b, c, d, s!(16));
+        r_ch!(d, e, a, b, c, s!(17));
+        r_ch!(c, d, e, a, b, s!(18));
+        r_ch!(b, c, d, e, a, s!(19));
+        r_p1!(a, b, c, d, e, s!(20));
+        r_p1!(e, a, b, c, d, s!(21));
+        r_p1!(d, e, a, b, c, s!(22));
+        r_p1!(c, d, e, a, b, s!(23));
+        r_p1!(b, c, d, e, a, s!(24));
+        r_p1!(a, b, c, d, e, s!(25));
+        r_p1!(e, a, b, c, d, s!(26));
+        r_p1!(d, e, a, b, c, s!(27));
+        r_p1!(c, d, e, a, b, s!(28));
+        r_p1!(b, c, d, e, a, s!(29));
+        r_p1!(a, b, c, d, e, s!(30));
+        r_p1!(e, a, b, c, d, s!(31));
+        r_p1!(d, e, a, b, c, s!(32));
+        r_p1!(c, d, e, a, b, s!(33));
+        r_p1!(b, c, d, e, a, s!(34));
+        r_p1!(a, b, c, d, e, s!(35));
+        r_p1!(e, a, b, c, d, s!(36));
+        r_p1!(d, e, a, b, c, s!(37));
+        r_p1!(c, d, e, a, b, s!(38));
+        r_p1!(b, c, d, e, a, s!(39));
+        r_maj!(a, b, c, d, e, s!(40));
+        r_maj!(e, a, b, c, d, s!(41));
+        r_maj!(d, e, a, b, c, s!(42));
+        r_maj!(c, d, e, a, b, s!(43));
+        r_maj!(b, c, d, e, a, s!(44));
+        r_maj!(a, b, c, d, e, s!(45));
+        r_maj!(e, a, b, c, d, s!(46));
+        r_maj!(d, e, a, b, c, s!(47));
+        r_maj!(c, d, e, a, b, s!(48));
+        r_maj!(b, c, d, e, a, s!(49));
+        r_maj!(a, b, c, d, e, s!(50));
+        r_maj!(e, a, b, c, d, s!(51));
+        r_maj!(d, e, a, b, c, s!(52));
+        r_maj!(c, d, e, a, b, s!(53));
+        r_maj!(b, c, d, e, a, s!(54));
+        r_maj!(a, b, c, d, e, s!(55));
+        r_maj!(e, a, b, c, d, s!(56));
+        r_maj!(d, e, a, b, c, s!(57));
+        r_maj!(c, d, e, a, b, s!(58));
+        r_maj!(b, c, d, e, a, s!(59));
+        r_p2!(a, b, c, d, e, s!(60));
+        r_p2!(e, a, b, c, d, s!(61));
+        r_p2!(d, e, a, b, c, s!(62));
+        r_p2!(c, d, e, a, b, s!(63));
+        r_p2!(b, c, d, e, a, s!(64));
+        r_p2!(a, b, c, d, e, s!(65));
+        r_p2!(e, a, b, c, d, s!(66));
+        r_p2!(d, e, a, b, c, s!(67));
+        r_p2!(c, d, e, a, b, s!(68));
+        r_p2!(b, c, d, e, a, s!(69));
+        r_p2!(a, b, c, d, e, s!(70));
+        r_p2!(e, a, b, c, d, s!(71));
+        r_p2!(d, e, a, b, c, s!(72));
+        r_p2!(c, d, e, a, b, s!(73));
+        r_p2!(b, c, d, e, a, s!(74));
+        r_p2!(a, b, c, d, e, s!(75));
+        r_p2!(e, a, b, c, d, s!(76));
+        r_p2!(d, e, a, b, c, s!(77));
+        r_p2!(c, d, e, a, b, s!(78));
+        r_p2!(b, c, d, e, a, s!(79));
+        // The final rounds' schedule writes are dead by construction.
+        let _ = w;
 
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

@@ -355,39 +355,64 @@ impl ContainerStore {
     }
 
     fn seal(&self, builder: ContainerBuilder) -> Result<()> {
-        let container = builder.seal();
-        // Write-ahead: the container and its batched chunk-index finalize must be
-        // durable before the seal takes effect in memory.  A crash here drops the
-        // container entirely — its chunks were never acknowledged.
+        self.seal_group(vec![builder])
+    }
+
+    /// Seals a group of full containers as one buffered write: every container's
+    /// seal and batched chunk-index finalize goes into a single journal group
+    /// commit, and the containers' data+metadata sections are charged to the
+    /// disk model as one coalesced sequential transfer.  A rollover seals a
+    /// group of one; [`flush`](Self::flush) seals every retired stream at once.
+    ///
+    /// Write-ahead: the group must be durable before any seal takes effect in
+    /// memory.  A crash mid-group installs nothing — the journaled prefix is
+    /// recovered by replay, and the unacknowledged rest is dropped, exactly as
+    /// an interrupted session would drop it.
+    fn seal_group(&self, builders: Vec<ContainerBuilder>) -> Result<()> {
+        if builders.is_empty() {
+            return Ok(());
+        }
+        let containers: Vec<Container> = builders.into_iter().map(|b| b.seal()).collect();
         if let Some(journal) = &self.journal {
-            journal.append(&JournalRecord::ContainerSeal {
-                container: container.clone(),
-            })?;
-            journal.append(&JournalRecord::ChunkIndexFinalize {
-                container: container.id(),
-                entries: Self::finalize_entries(&container),
-            })?;
+            let mut records = Vec::with_capacity(containers.len() * 2);
+            for container in &containers {
+                records.push(JournalRecord::ContainerSeal {
+                    container: container.clone(),
+                });
+                records.push(JournalRecord::ChunkIndexFinalize {
+                    container: container.id(),
+                    entries: Self::finalize_entries(container),
+                });
+            }
+            journal.append_batch(&records)?;
         }
         if let Some(disk) = &self.disk {
-            disk.record_sequential_transfer(
-                (container.data_size() + container.meta().serialized_size()) as u64,
-            );
+            let total: u64 = containers
+                .iter()
+                .map(|c| (c.data_size() + c.meta().serialized_size()) as u64)
+                .sum();
+            disk.record_sequential_transfer(total);
         }
-        self.sealed_containers.fetch_add(1, Ordering::Relaxed);
-        self.stored_bytes
-            .fetch_add(container.data_size() as u64, Ordering::Relaxed);
-        self.stored_chunks
-            .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
-        self.sealed.write().insert(container.id(), container);
+        let mut sealed = self.sealed.write();
+        for container in containers {
+            self.sealed_containers.fetch_add(1, Ordering::Relaxed);
+            self.stored_bytes
+                .fetch_add(container.data_size() as u64, Ordering::Relaxed);
+            self.stored_chunks
+                .fetch_add(container.chunk_count() as u64, Ordering::Relaxed);
+            sealed.insert(container.id(), container);
+        }
         Ok(())
     }
 
-    /// Seals every open container (end of a backup session).
+    /// Seals every open container (end of a backup session) as one coalesced
+    /// group write — one journal group commit, one sequential disk transfer —
+    /// instead of a per-container trickle.
     ///
     /// # Errors
     ///
-    /// Returns the first journal crash hit while sealing; the remaining open
-    /// containers are dropped, exactly as a crash would drop them.
+    /// Returns the journal crash hit while sealing; every open container of the
+    /// session is then dropped, exactly as a crash would drop them.
     pub fn flush(&self) -> Result<()> {
         // Retire every open slot.  The directory lock is released before the slots
         // are sealed; a store racing with the flush either appended before its slot
@@ -397,15 +422,12 @@ impl ContainerStore {
             let mut open = self.open.write();
             open.drain().map(|(_, slot)| slot).collect()
         };
-        for slot in slots {
-            let builder = slot.lock().builder.take();
-            if let Some(builder) = builder {
-                if builder.chunk_count() > 0 {
-                    self.seal(builder)?;
-                }
-            }
-        }
-        Ok(())
+        let builders: Vec<ContainerBuilder> = slots
+            .into_iter()
+            .filter_map(|slot| slot.lock().builder.take())
+            .filter(|b| b.chunk_count() > 0)
+            .collect();
+        self.seal_group(builders)
     }
 
     /// Snapshots a still-open container holding `container`, if any.
@@ -561,16 +583,18 @@ impl ContainerStore {
         let new_id = self.alloc_id();
         let container = container.with_id(new_id);
         if let Some(journal) = &self.journal {
-            journal.append(&JournalRecord::ContainerAdopt {
-                origin_node,
-                origin_container: origin.1,
-                container: container.clone(),
-                rfps: rfps.to_vec(),
-            })?;
-            journal.append(&JournalRecord::ChunkIndexFinalize {
-                container: new_id,
-                entries: Self::finalize_entries(&container),
-            })?;
+            journal.append_batch(&[
+                JournalRecord::ContainerAdopt {
+                    origin_node,
+                    origin_container: origin.1,
+                    container: container.clone(),
+                    rfps: rfps.to_vec(),
+                },
+                JournalRecord::ChunkIndexFinalize {
+                    container: new_id,
+                    entries: Self::finalize_entries(&container),
+                },
+            ])?;
         }
         if let Some(disk) = &self.disk {
             disk.record_sequential_transfer(
@@ -1235,6 +1259,35 @@ mod tests {
         // Absent containers journal nothing.
         assert!(store.drop_sealed_gc(&cid).unwrap().is_none());
         assert_eq!(journal.frame_count(), frames_before + 1);
+    }
+
+    #[test]
+    fn flush_coalesces_seals_into_one_group_write() {
+        let disk = Arc::new(DiskModel::new(DiskParams::default()));
+        let journal = Arc::new(crate::Journal::with_disk(disk.clone()));
+        let store = ContainerStore::new(4096)
+            .with_disk(disk.clone())
+            .with_journal(journal.clone());
+        for stream in 0..6u64 {
+            let (fp, data) = payload(stream, 100);
+            store.store_chunk(stream, fp, &data).unwrap();
+        }
+        let ops_before = disk.stats().sequential_ops;
+        store.flush().unwrap();
+        // Six open containers seal as ONE coalesced container write plus ONE
+        // journal group commit — not twelve appends and six transfers.
+        assert_eq!(disk.stats().sequential_ops, ops_before + 2);
+        assert_eq!(store.stats().sealed_containers, 6);
+        // Every seal and finalize still reached the journal individually.
+        let (records, _) = crate::Journal::replay(&journal.bytes());
+        assert_eq!(records.len(), 12);
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| matches!(r, JournalRecord::ContainerSeal { .. }))
+                .count(),
+            6
+        );
     }
 
     #[test]

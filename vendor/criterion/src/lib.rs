@@ -138,6 +138,52 @@ impl Bencher {
         }
         self.samples = samples;
     }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding the setup
+    /// cost from the timed region.
+    ///
+    /// The shim ignores the `BatchSize` hint and always pairs one (untimed)
+    /// setup call with one timed routine call — correct for destructive
+    /// routines (`BatchSize::PerIteration` semantics) and a valid, if
+    /// unbatched, measurement for the other variants. `Instant` overhead is
+    /// not amortized, so this is meant for routines well above microsecond
+    /// scale (the ones that need a fresh input each iteration usually are).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = if self.quick { 1 } else { self.sample_size };
+        let mut spent = Duration::ZERO;
+        self.samples = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            spent += elapsed;
+            self.samples.push(elapsed);
+            if !self.quick && spent >= MAX_BENCH_BUDGET && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// How many setup outputs `iter_batched` materializes per timed batch.
+///
+/// The shim always runs setup once per iteration outside the timed region
+/// (the real crate uses the hint to bound memory); the variants exist so call
+/// sites compile unchanged against the real `criterion`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; the real crate batches many per allocation.
+    SmallInput,
+    /// Setup output is large; the real crate batches few per allocation.
+    LargeInput,
+    /// One setup call per iteration — for destructive routines that consume
+    /// expensive state.
+    PerIteration,
 }
 
 /// The units of work one benchmark iteration performs, for throughput reporting.
@@ -293,6 +339,28 @@ mod tests {
             b.iter(|| src.to_vec())
         });
         group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut criterion = Criterion::default().sample_size(4);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        criterion.bench_function("shim/iter_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 64]
+                },
+                |input| {
+                    runs += 1;
+                    input.len()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert!(runs >= 1);
     }
 
     #[test]
