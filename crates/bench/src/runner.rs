@@ -21,6 +21,7 @@ use sigma_core::{
 use sigma_hashkit::FingerprintAlgorithm;
 use sigma_metrics::Stopwatch;
 use sigma_simulation::runner::{run_cluster, SimulationConfig};
+use sigma_simulation::tenant_storm::{run_tenant_storm, TenantStormConfig};
 use sigma_storage::Journal;
 use sigma_workloads::payload::{
     generational_payloads, random_bytes, versioned_payloads, GenerationalPayloadParams,
@@ -62,6 +63,13 @@ struct Sizes {
     gc_generations: usize,
     gc_expire: u64,
     gc_stream_bytes: usize,
+    /// Tenant storm: tenants, clients per tenant, hot-tenant extra clients,
+    /// generations, initial payload bytes per client.
+    storm_tenants: usize,
+    storm_clients_per_tenant: usize,
+    storm_hot_extra: usize,
+    storm_generations: usize,
+    storm_payload_bytes: usize,
     /// Repetitions per metric; the best (max MB/s) is recorded.
     reps: usize,
 }
@@ -81,6 +89,11 @@ impl Sizes {
             gc_generations: 4,
             gc_expire: 2,
             gc_stream_bytes: 2 << 20,
+            storm_tenants: 16,
+            storm_clients_per_tenant: 4,
+            storm_hot_extra: 8,
+            storm_generations: 3,
+            storm_payload_bytes: 16 << 10,
             reps: 3,
         }
     }
@@ -99,6 +112,11 @@ impl Sizes {
             gc_generations: 4,
             gc_expire: 2,
             gc_stream_bytes: 512 << 10,
+            storm_tenants: 8,
+            storm_clients_per_tenant: 2,
+            storm_hot_extra: 4,
+            storm_generations: 2,
+            storm_payload_bytes: 8 << 10,
             reps: 2,
         }
     }
@@ -148,6 +166,7 @@ fn suite(sizes: &Sizes, metrics: &mut Vec<Metric>) -> f64 {
     rebalance_suite(sizes, metrics);
     replay_suite(sizes, metrics);
     gc_suite(sizes, metrics);
+    tenant_suite(sizes, metrics);
     speedup
 }
 
@@ -453,6 +472,50 @@ fn gc_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
     });
 }
 
+/// End-to-end multi-tenant storm through the full six-layer service stack
+/// (auth, admission, quota, rate-limit, DRR fair scheduler, logging) into a
+/// real cluster: generational ingest with a hot tenant, churn (delete + GC)
+/// racing mid-churn restores, final byte-for-byte verification.  MB/s of the
+/// live logical bytes the deterministic dataset leaves behind, over the whole
+/// scenario.  Non-headline: the storm runs one thread per client, so absolute
+/// MB/s depends on host core count the way the multi-thread ingest numbers do.
+fn tenant_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let config = TenantStormConfig {
+        tenants: sizes.storm_tenants,
+        clients_per_tenant: sizes.storm_clients_per_tenant,
+        hot_tenant_extra_clients: sizes.storm_hot_extra,
+        generations: sizes.storm_generations,
+        initial_payload_bytes: sizes.storm_payload_bytes,
+        growth_per_generation: sizes.storm_payload_bytes / 8,
+        // No service-time floor: this metric is stack + cluster throughput,
+        // not the fairness measurement (which needs the floor and lives in
+        // the tenant_storm tests and CI job).
+        service_time_us: 0,
+        ..TenantStormConfig::default()
+    };
+    let mut best = (0.0f64, 0u64);
+    for _ in 0..sizes.reps {
+        let sw = Stopwatch::start();
+        let report = run_tenant_storm(&config);
+        let tp = sw.stop(report.cluster_logical_bytes);
+        assert!(
+            report.isolation_holds() && report.partition_holds() && report.accounting_consistent,
+            "storm isolation must hold in the bench run"
+        );
+        if tp.mb_per_sec() > best.0 {
+            best = (tp.mb_per_sec(), report.cluster_logical_bytes);
+        }
+    }
+    eprintln!("{}tenant_storm: {:.1} MB/s", sizes.prefix, best.0);
+    metrics.push(Metric {
+        name: format!("{}tenant_storm", sizes.prefix),
+        mbps: best.0,
+        bytes: best.1,
+        byte_basis: ByteBasis::LogicalPreDedup,
+        headline: false,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +544,7 @@ mod tests {
             "quick/replay_raw",
             "quick/replay_compacted",
             "quick/gc_reclaim",
+            "quick/tenant_storm",
         ] {
             let metric = report.metric(name).unwrap_or_else(|| {
                 panic!("metric {name} missing from quick report");

@@ -98,6 +98,31 @@ impl BackupClient {
         }
     }
 
+    /// Creates a client whose backup session is additionally tagged with the
+    /// tenant that owns the stream.
+    ///
+    /// The tag drives per-tenant logical accounting
+    /// ([`Director::logical_bytes_by_tenant`](crate::Director::logical_bytes_by_tenant)):
+    /// each tenant's recipe bytes are attributed to it even though the chunks
+    /// behind them deduplicate — and are physically shared — across tenants.
+    pub fn with_tenant(
+        cluster: Arc<DedupCluster>,
+        stream_id: u64,
+        generation: u64,
+        tenant: &str,
+    ) -> Self {
+        let session_id = cluster.director().open_tenant_session(
+            &format!("client-{}", stream_id),
+            generation,
+            tenant,
+        );
+        BackupClient {
+            cluster,
+            stream_id,
+            session_id,
+        }
+    }
+
     /// The client's data-stream identifier.
     pub fn stream_id(&self) -> u64 {
         self.stream_id

@@ -1023,6 +1023,15 @@ impl DedupCluster {
         self.logical_bytes_routed.load(Ordering::Relaxed)
     }
 
+    /// Logical bytes of the surviving recipes, grouped by tenant tag — the
+    /// cluster-side ground truth the service layer's per-tenant accounting is
+    /// cross-checked against.  Sessions opened without a tenant tag are not
+    /// included (see
+    /// [`Director::untagged_logical_bytes`](crate::Director::untagged_logical_bytes)).
+    pub fn tenant_logical_bytes(&self) -> std::collections::BTreeMap<String, u64> {
+        self.director.logical_bytes_by_tenant()
+    }
+
     /// Physical bytes stored across the whole node directory (active nodes
     /// plus retired nodes still holding containers mid-drain), without
     /// computing a full [`stats`](Self::stats) snapshot.

@@ -73,6 +73,11 @@ struct DirectorInner {
     /// expiry of that generation still covers it (instead of the file silently
     /// re-homing into generation 0 and escaping its retention policy).
     session_generations: std::collections::HashMap<u64, u64>,
+    /// Tenant tag per session, for multi-tenant accounting.  Like
+    /// `session_generations` this survives the session's deletion, so a
+    /// straggler file registered after expiry is still attributed to the
+    /// tenant that owns the stream.
+    session_tenants: std::collections::HashMap<u64, String>,
 }
 
 /// The metadata service of the cluster.
@@ -127,6 +132,56 @@ impl Director {
             },
         );
         id
+    }
+
+    /// Opens a backup session tagged with the tenant that owns it, in the
+    /// given generation.
+    ///
+    /// The tag feeds the per-tenant accounting the service layer surfaces:
+    /// [`logical_bytes_by_tenant`](Director::logical_bytes_by_tenant) sums
+    /// each tenant's registered recipe bytes, while the chunks those recipes
+    /// reference remain shared — deduplicated — across tenants.
+    pub fn open_tenant_session(&self, client: &str, generation: u64, tenant: &str) -> u64 {
+        let session_id = self.open_session_in_generation(client, generation);
+        self.inner
+            .lock()
+            .session_tenants
+            .insert(session_id, tenant.to_string());
+        session_id
+    }
+
+    /// The tenant tag of a session, if it was opened with
+    /// [`open_tenant_session`](Director::open_tenant_session).  Survives the
+    /// session's deletion, like its generation.
+    pub fn session_tenant(&self, session_id: u64) -> Option<String> {
+        self.inner.lock().session_tenants.get(&session_id).cloned()
+    }
+
+    /// Logical bytes of every registered recipe, grouped by the owning
+    /// session's tenant tag.  Untagged sessions are excluded — see
+    /// [`untagged_logical_bytes`](Director::untagged_logical_bytes); the two
+    /// always sum to [`total_logical_bytes`](Director::total_logical_bytes).
+    pub fn logical_bytes_by_tenant(&self) -> std::collections::BTreeMap<String, u64> {
+        let inner = self.inner.lock();
+        let mut out = std::collections::BTreeMap::new();
+        for recipe in inner.recipes.values() {
+            if let Some(tenant) = inner.session_tenants.get(&recipe.session_id) {
+                *out.entry(tenant.clone()).or_insert(0) += recipe.size;
+            }
+        }
+        out
+    }
+
+    /// Logical bytes of recipes whose sessions carry no tenant tag
+    /// (trace-driven or direct [`BackupClient`](crate::BackupClient) use).
+    pub fn untagged_logical_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .recipes
+            .values()
+            .filter(|r| !inner.session_tenants.contains_key(&r.session_id))
+            .map(|r| r.size)
+            .sum()
     }
 
     /// Registers a completed file backup and returns its file ID.
@@ -425,6 +480,44 @@ mod tests {
         assert!(d.recipe(straggler).is_none());
         // Generation-0 expiry never saw it.
         assert!(d.delete_generation(0).is_empty());
+    }
+
+    #[test]
+    fn tenant_tags_partition_logical_bytes() {
+        let d = Director::new();
+        let sa = d.open_tenant_session("host-1", 0, "acme");
+        let sb = d.open_tenant_session("host-2", 0, "globex");
+        let untagged = d.open_session("host-3");
+        d.register_file(sa, "a1", 100, vec![entry(1)]);
+        d.register_file(sa, "a2", 250, vec![entry(2)]);
+        d.register_file(sb, "b1", 300, vec![entry(3)]);
+        d.register_file(untagged, "u1", 50, vec![entry(4)]);
+        let by_tenant = d.logical_bytes_by_tenant();
+        assert_eq!(by_tenant["acme"], 350);
+        assert_eq!(by_tenant["globex"], 300);
+        assert_eq!(by_tenant.len(), 2, "untagged sessions are not a tenant");
+        assert_eq!(d.untagged_logical_bytes(), 50);
+        assert_eq!(
+            by_tenant.values().sum::<u64>() + d.untagged_logical_bytes(),
+            d.total_logical_bytes(),
+            "tenant partition covers every registered byte"
+        );
+        assert_eq!(d.session_tenant(sa).as_deref(), Some("acme"));
+        assert_eq!(d.session_tenant(untagged), None);
+    }
+
+    #[test]
+    fn tenant_tag_survives_session_expiry() {
+        // A straggler registered after its session was expired must still be
+        // attributed to the owning tenant (mirrors the generation-preserving
+        // lazy recreation).
+        let d = Director::new();
+        let s = d.open_tenant_session("nightly", 3, "acme");
+        d.register_file(s, "wave", 10, vec![entry(1)]);
+        assert_eq!(d.delete_generation(3).len(), 1);
+        d.register_file(s, "late", 70, vec![entry(2)]);
+        assert_eq!(d.logical_bytes_by_tenant()["acme"], 70);
+        assert_eq!(d.session_tenant(s).as_deref(), Some("acme"));
     }
 
     #[test]

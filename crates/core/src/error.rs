@@ -167,6 +167,19 @@ pub enum SigmaError {
         /// (0 when the bucket never refills).
         retry_after_ms: u64,
     },
+    /// The service shed the request because the whole cluster's bounded
+    /// in-flight work is saturated — not a per-tenant condition.  Maps to
+    /// [`ServiceCode::Unavailable`] (wire 503): the request was valid and
+    /// retrying after `retry_after_ms` may succeed.
+    Overloaded {
+        /// In-flight payload bytes already admitted when the request arrived.
+        inflight_bytes: u64,
+        /// The configured in-flight byte ceiling that was hit.
+        limit_bytes: u64,
+        /// Deterministic retry hint in milliseconds, scaled by how far past
+        /// the ceiling the cluster is (same state ⇒ same hint).
+        retry_after_ms: u64,
+    },
 }
 
 impl SigmaError {
@@ -191,6 +204,7 @@ impl SigmaError {
             SigmaError::QuotaExceeded { .. } | SigmaError::RateLimited { .. } => {
                 ServiceCode::ResourceExhausted
             }
+            SigmaError::Overloaded { .. } => ServiceCode::Unavailable,
         }
     }
 }
@@ -252,6 +266,15 @@ impl std::fmt::Display for SigmaError {
                 f,
                 "tenant {:?} rate limited (retry after {} ms)",
                 tenant, retry_after_ms
+            ),
+            SigmaError::Overloaded {
+                inflight_bytes,
+                limit_bytes,
+                retry_after_ms,
+            } => write!(
+                f,
+                "service overloaded: {} of {} in-flight bytes (retry after {} ms)",
+                inflight_bytes, limit_bytes, retry_after_ms
             ),
         }
     }
@@ -361,6 +384,14 @@ mod tests {
                 },
                 ServiceCode::ResourceExhausted,
             ),
+            (
+                SigmaError::Overloaded {
+                    inflight_bytes: 4096,
+                    limit_bytes: 2048,
+                    retry_after_ms: 25,
+                },
+                ServiceCode::Unavailable,
+            ),
         ];
         for (err, code) in cases {
             assert_eq!(err.code(), code, "wrong class for {:?}", err);
@@ -405,5 +436,13 @@ mod tests {
             retry_after_ms: 750,
         };
         assert!(e.to_string().contains("750"));
+        let e = SigmaError::Overloaded {
+            inflight_bytes: 9000,
+            limit_bytes: 8192,
+            retry_after_ms: 40,
+        };
+        for needle in ["9000", "8192", "40"] {
+            assert!(e.to_string().contains(needle), "missing {}", needle);
+        }
     }
 }

@@ -124,6 +124,7 @@ impl OpSnapshot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     ops: RwLock<BTreeMap<String, Arc<OpCounters>>>,
+    tenants: RwLock<BTreeMap<String, Arc<crate::TenantCounters>>>,
 }
 
 impl MetricsRegistry {
@@ -153,6 +154,30 @@ impl MetricsRegistry {
             .expect("metrics lock")
             .iter()
             .map(|(name, c)| (name.clone(), c.snapshot()))
+            .collect()
+    }
+
+    /// The per-tenant counters for `tenant`, created on first use.  Same
+    /// caching contract as [`op`](MetricsRegistry::op).
+    pub fn tenant(&self, tenant: &str) -> Arc<crate::TenantCounters> {
+        if let Some(c) = self.tenants.read().expect("metrics lock").get(tenant) {
+            return c.clone();
+        }
+        self.tenants
+            .write()
+            .expect("metrics lock")
+            .entry(tenant.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Reports every tenant observed so far, keyed by tenant name.
+    pub fn tenant_reports(&self) -> BTreeMap<String, crate::TenantStatsReport> {
+        self.tenants
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.report(name)))
             .collect()
     }
 }

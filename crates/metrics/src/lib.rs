@@ -17,15 +17,21 @@
 //! tables, wall-clock throughput measurement ([`Stopwatch`], [`Throughput`]),
 //! and lock-light per-operation service counters ([`MetricsRegistry`],
 //! [`OpCounters`]) fed by the service layer's request-logging middleware.
+//! Multi-tenant accounting lives in [`TenantCounters`] /
+//! [`TenantStatsReport`] (per-tenant logical/transferred bytes while physical
+//! chunks stay shared), and [`jain_fairness_index`] scores how evenly a
+//! scheduler divided service among tenants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counters;
 pub mod report;
+mod tenant;
 mod throughput;
 
 pub use counters::{MetricsRegistry, OpCounters, OpSnapshot};
+pub use tenant::{jain_fairness_index, TenantCounters, TenantStatsReport};
 pub use throughput::{Stopwatch, Throughput};
 
 use serde::{Deserialize, Serialize};

@@ -6,7 +6,8 @@ use crate::pipeline::Backend;
 use crate::{Operation, RequestEnvelope, ResponseEnvelope};
 use parking_lot::Mutex;
 use sigma_core::{BackupClient, DedupCluster, SigmaError};
-use std::collections::HashMap;
+use sigma_metrics::{MetricsRegistry, TenantStatsReport};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Response-metadata key: the file ID a backup assigned (use it to restore).
@@ -26,6 +27,10 @@ pub const DUPLICATE_CHUNKS_KEY: &str = "duplicate_chunks";
 pub const FREED_BYTES_KEY: &str = "freed_bytes";
 /// Response-metadata key: physical bytes a garbage collection reclaimed.
 pub const BYTES_RECLAIMED_KEY: &str = "bytes_reclaimed";
+/// Response-metadata prefix: the calling tenant's [`TenantStatsReport`]
+/// fields on a `Stats` response (`tenant_logical_bytes`,
+/// `tenant_live_logical_bytes`, `tenant_files`, …).
+pub const TENANT_STATS_PREFIX: &str = "tenant_";
 
 /// Base for service-allocated stream IDs, far above the IDs hand-picked by
 /// library users and simulations sharing the cluster.
@@ -62,13 +67,18 @@ struct Inner {
 /// or delete files and sessions it created *through this service*, and a
 /// cross-tenant (or unknown) ID is answered with the same `NotFound` as a
 /// genuinely absent one, so IDs cannot be probed across tenants.
-/// `CollectGarbage` and `Stats` are cluster-scoped operations available to
-/// any authenticated tenant; per-tenant fairness and isolation invariants
-/// under concurrent multi-tenant load are the next roadmap item, not this
-/// layer's job.
+/// `CollectGarbage` is cluster-scoped and available to any authenticated
+/// tenant; `Stats` reports cluster-wide figures *plus* the calling tenant's
+/// own [`TenantStatsReport`].
+///
+/// Every session the service opens is tenant-tagged in the cluster's
+/// director, so per-tenant *live* logical bytes can be audited from the
+/// cluster side independently of this layer's cumulative counters — the
+/// tenant-isolation invariant checked by the simulation and property tests.
 pub struct BackupService {
     cluster: Arc<DedupCluster>,
     inner: Mutex<Inner>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for BackupService {
@@ -87,12 +97,48 @@ impl BackupService {
         BackupService {
             cluster,
             inner: Mutex::new(Inner::default()),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
     /// The cluster behind the service (stats, direct experimentation).
     pub fn cluster(&self) -> &Arc<DedupCluster> {
         &self.cluster
+    }
+
+    /// The registry holding this service's per-tenant counters.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// One tenant's accounting report: cumulative counters plus the current
+    /// live state (surviving files and their logical bytes).
+    pub fn tenant_stats_for(&self, tenant: &str) -> TenantStatsReport {
+        let mut report = self.metrics.tenant(tenant).report(tenant);
+        report.live_logical_bytes = self
+            .cluster
+            .tenant_logical_bytes()
+            .get(tenant)
+            .copied()
+            .unwrap_or(0);
+        report.files = {
+            let inner = self.inner.lock();
+            inner.owners.values().filter(|o| o.tenant == tenant).count() as u64
+        };
+        report
+    }
+
+    /// Reports for every tenant that has sent at least one request, keyed by
+    /// tenant name.
+    pub fn tenant_stats(&self) -> BTreeMap<String, TenantStatsReport> {
+        self.metrics
+            .tenant_reports()
+            .into_keys()
+            .map(|tenant| {
+                let report = self.tenant_stats_for(&tenant);
+                (tenant, report)
+            })
+            .collect()
     }
 
     /// The client for `(tenant, generation)`, created (with a fresh session)
@@ -105,10 +151,11 @@ impl BackupService {
         }
         let stream_id = STREAM_ID_BASE + inner.next_stream;
         inner.next_stream += 1;
-        let client = Arc::new(BackupClient::with_generation(
+        let client = Arc::new(BackupClient::with_tenant(
             self.cluster.clone(),
             stream_id,
             generation,
+            tenant,
         ));
         inner.sessions.insert(
             client.session_id(),
@@ -136,6 +183,10 @@ impl BackupService {
         if let Some(session) = inner.sessions.get_mut(&client.session_id()) {
             session.files.push(report.file_id);
         }
+        drop(inner);
+        self.metrics
+            .tenant(&req.tenant)
+            .record_ingest(report.logical_bytes, report.transferred_bytes);
         Ok(ResponseEnvelope::ok(req.request_id)
             .with_metadata(FILE_ID_KEY, report.file_id.to_string())
             .with_metadata(SESSION_ID_KEY, client.session_id().to_string())
@@ -158,6 +209,9 @@ impl BackupService {
     fn restore(&self, req: &RequestEnvelope, file_id: u64) -> ServiceResult {
         self.authorize_file(&req.tenant, file_id)?;
         let data = self.cluster.restore_file(file_id)?;
+        self.metrics
+            .tenant(&req.tenant)
+            .record_restored(data.len() as u64);
         Ok(ResponseEnvelope::ok(req.request_id)
             .with_metadata(LOGICAL_BYTES_KEY, data.len().to_string())
             .with_payload(data))
@@ -172,6 +226,8 @@ impl BackupService {
                 session.files.retain(|&f| f != file_id);
             }
         }
+        drop(inner);
+        self.metrics.tenant(&req.tenant).record_freed(freed);
         Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
     }
 
@@ -198,6 +254,7 @@ impl BackupService {
             return Err(SigmaError::BackupNotFound(session_id));
         }
         let freed = self.delete_session(session_id)?;
+        self.metrics.tenant(&req.tenant).record_freed(freed);
         Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
     }
 
@@ -218,6 +275,7 @@ impl BackupService {
         for session_id in victims {
             freed += self.delete_session(session_id)?;
         }
+        self.metrics.tenant(&req.tenant).record_freed(freed);
         Ok(ResponseEnvelope::ok(req.request_id).with_metadata(FREED_BYTES_KEY, freed.to_string()))
     }
 
@@ -235,14 +293,7 @@ impl BackupService {
 
     fn stats(&self, req: &RequestEnvelope) -> ServiceResult {
         let stats = self.cluster.stats();
-        let tenant_files = {
-            let inner = self.inner.lock();
-            inner
-                .owners
-                .values()
-                .filter(|o| o.tenant == req.tenant)
-                .count()
-        };
+        let tenant = self.tenant_stats_for(&req.tenant);
         Ok(ResponseEnvelope::ok(req.request_id)
             .with_metadata("router", stats.router.clone())
             .with_metadata("node_count", stats.node_count.to_string())
@@ -250,13 +301,28 @@ impl BackupService {
             .with_metadata("physical_bytes", stats.physical_bytes.to_string())
             .with_metadata("dedup_ratio", format!("{:.4}", stats.dedup_ratio))
             .with_metadata("usage_skew", format!("{:.4}", stats.usage_skew))
-            .with_metadata("tenant_files", tenant_files.to_string()))
+            .with_metadata("tenant_requests", tenant.requests.to_string())
+            .with_metadata("tenant_rejected", tenant.rejected.to_string())
+            .with_metadata("tenant_logical_bytes", tenant.logical_bytes.to_string())
+            .with_metadata(
+                "tenant_transferred_bytes",
+                tenant.transferred_bytes.to_string(),
+            )
+            .with_metadata("tenant_freed_bytes", tenant.freed_bytes.to_string())
+            .with_metadata("tenant_restored_bytes", tenant.restored_bytes.to_string())
+            .with_metadata(
+                "tenant_live_logical_bytes",
+                tenant.live_logical_bytes.to_string(),
+            )
+            .with_metadata("tenant_dedup_ratio", format!("{:.4}", tenant.dedup_ratio()))
+            .with_metadata("tenant_files", tenant.files.to_string()))
     }
 }
 
 impl Backend for BackupService {
     fn call(&self, req: RequestEnvelope) -> ServiceResult {
-        match req.operation.clone() {
+        let tenant = req.tenant.clone();
+        let result = match req.operation.clone() {
             Operation::Backup {
                 file_name,
                 generation,
@@ -267,7 +333,9 @@ impl Backend for BackupService {
             Operation::DeleteGeneration { generation } => self.delete_generation(&req, generation),
             Operation::CollectGarbage => self.collect_garbage(&req),
             Operation::Stats => self.stats(&req),
-        }
+        };
+        self.metrics.tenant(&tenant).record_request(result.is_err());
+        result
     }
 }
 
@@ -477,6 +545,85 @@ mod tests {
         assert_eq!(stats.metadata_u64(LOGICAL_BYTES_KEY), Some(64_000));
         assert_eq!(stats.metadata_u64("tenant_files"), Some(1));
         assert!(stats.metadata.contains_key("dedup_ratio"));
+    }
+
+    #[test]
+    fn per_tenant_accounting_tracks_ingest_frees_and_live_state() {
+        let svc = service();
+        let a = data(100_000, 20);
+        let b = data(60_000, 21);
+        let ra = svc.call(backup_req(1, "acme", "a", a.clone())).unwrap();
+        svc.call(backup_req(2, "globex", "b", b)).unwrap();
+        // acme backs up the same bytes again: logical grows, transferred
+        // barely does (first-writer-pays).
+        svc.call(backup_req(3, "acme", "a2", a.clone())).unwrap();
+        let acme = svc.tenant_stats_for("acme");
+        assert_eq!(acme.logical_bytes, 200_000);
+        assert!(
+            acme.transferred_bytes < 110_000,
+            "duplicate ingest must not re-pay: {}",
+            acme.transferred_bytes
+        );
+        assert_eq!(acme.live_logical_bytes, 200_000);
+        assert_eq!(acme.files, 2);
+        assert!(acme.dedup_ratio() > 1.8);
+        // Director-tagged live bytes partition the cluster's logical total.
+        let by_tenant = svc.cluster().tenant_logical_bytes();
+        assert_eq!(by_tenant["acme"], 200_000);
+        assert_eq!(by_tenant["globex"], 60_000);
+        assert_eq!(
+            by_tenant.values().sum::<u64>(),
+            svc.cluster().stats().logical_bytes
+        );
+        // A delete moves bytes from live to freed without touching globex.
+        let file_id = ra.metadata_u64(FILE_ID_KEY).unwrap();
+        svc.call(RequestEnvelope::new(
+            4,
+            "acme",
+            Operation::DeleteFile { file_id },
+        ))
+        .unwrap();
+        let acme = svc.tenant_stats_for("acme");
+        assert_eq!(acme.freed_bytes, 100_000);
+        assert_eq!(acme.live_logical_bytes, 100_000);
+        assert_eq!(acme.files, 1);
+        assert_eq!(svc.tenant_stats_for("globex").live_logical_bytes, 60_000);
+        // Requests and rejections are tallied per tenant.
+        assert!(svc
+            .call(RequestEnvelope::new(
+                5,
+                "acme",
+                Operation::Restore { file_id }
+            ))
+            .is_err());
+        let acme = svc.tenant_stats_for("acme");
+        assert_eq!(acme.requests, 4);
+        assert_eq!(acme.rejected, 1);
+        assert_eq!(svc.tenant_stats().len(), 2);
+    }
+
+    #[test]
+    fn stats_surface_the_tenant_report() {
+        let svc = service();
+        svc.call(backup_req(1, "acme", "f", data(64_000, 22)))
+            .unwrap();
+        let stats = svc
+            .call(RequestEnvelope::new(2, "acme", Operation::Stats))
+            .unwrap();
+        assert_eq!(stats.metadata_u64("tenant_logical_bytes"), Some(64_000));
+        assert_eq!(
+            stats.metadata_u64("tenant_live_logical_bytes"),
+            Some(64_000)
+        );
+        assert_eq!(stats.metadata_u64("tenant_files"), Some(1));
+        assert_eq!(stats.metadata_u64("tenant_freed_bytes"), Some(0));
+        assert!(stats.metadata.contains_key("tenant_dedup_ratio"));
+        // Another tenant's Stats sees its own (empty) report, not acme's.
+        let other = svc
+            .call(RequestEnvelope::new(3, "globex", Operation::Stats))
+            .unwrap();
+        assert_eq!(other.metadata_u64("tenant_logical_bytes"), Some(0));
+        assert_eq!(other.metadata_u64("tenant_files"), Some(0));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! code-driven layering, [`ServiceStack`] as the runnable (in-process)
 //! result.
 
-use crate::middleware::{Middleware, RateLimit, RequestLog, TenantQuota, TokenAuth};
+use crate::middleware::{
+    AdmissionControl, FairScheduler, Middleware, RateLimit, RequestLog, TenantQuota, TokenAuth,
+};
 use crate::pipeline::{Backend, PipelineExecutor};
 use crate::{BackupService, RequestEnvelope, ResponseEnvelope};
 use sigma_core::DedupCluster;
@@ -55,6 +57,16 @@ impl std::fmt::Debug for ServiceStack {
 /// request → auth → quota → rate-limit → logging → BackupService
 /// ```
 ///
+/// The multi-tenant heavy-traffic order adds admission control right after
+/// auth (shed unauthenticated work *after* it is rejected cheaply, shed the
+/// rest before it reserves quota) and fair scheduling right above logging, so
+/// every queued request has already paid auth, admission, quota and rate
+/// limiting ([`full_stack`](Self::full_stack)):
+///
+/// ```text
+/// request → auth → admission → quota → rate-limit → fair-scheduler → logging → BackupService
+/// ```
+///
 /// # Example
 ///
 /// ```
@@ -97,6 +109,23 @@ impl ServiceBuilder {
         self.layer(Arc::new(quota))
     }
 
+    /// Appends global admission control (bounded in-flight work, typed 503
+    /// shedding with deterministic retry-after hints).
+    pub fn admission(self, admission: AdmissionControl) -> Self {
+        self.layer(Arc::new(admission))
+    }
+
+    /// Appends deficit-round-robin fair scheduling over per-tenant queues.
+    pub fn fair_scheduler(self, scheduler: FairScheduler) -> Self {
+        self.layer(Arc::new(scheduler))
+    }
+
+    /// Appends a caller-held fair scheduler (keep the handle to read
+    /// per-tenant completed bytes and compute fairness indices).
+    pub fn fair_scheduler_with(self, scheduler: Arc<FairScheduler>) -> Self {
+        self.layer(scheduler)
+    }
+
     /// Appends token-bucket rate limiting.
     pub fn rate_limit(self, limiter: RateLimit) -> Self {
         self.layer(Arc::new(limiter))
@@ -127,6 +156,29 @@ impl ServiceBuilder {
             .auth(auth)
             .quota(quota)
             .rate_limit(limiter)
+            .logging()
+    }
+
+    /// The full multi-tenant heavy-traffic stack: auth → admission → quota →
+    /// rate-limit → fair-scheduler → logging.
+    ///
+    /// Admission sits directly under auth so overload shedding happens before
+    /// quota is reserved; the fair scheduler sits just above logging so a
+    /// parked request has already passed every policy layer and the log
+    /// records scheduler queueing as part of request latency.
+    pub fn full_stack(
+        auth: TokenAuth,
+        admission: AdmissionControl,
+        quota: TenantQuota,
+        limiter: RateLimit,
+        scheduler: Arc<FairScheduler>,
+    ) -> Self {
+        ServiceBuilder::new()
+            .auth(auth)
+            .admission(admission)
+            .quota(quota)
+            .rate_limit(limiter)
+            .fair_scheduler_with(scheduler)
             .logging()
     }
 
@@ -180,6 +232,46 @@ mod tests {
             vec!["auth", "quota", "rate-limit", "logging"]
         );
         assert!(stack.log().is_some());
+    }
+
+    #[test]
+    fn full_stack_orders_the_six_layers() {
+        let scheduler = Arc::new(FairScheduler::new(64 << 10, 8 << 20, 4));
+        let stack = ServiceBuilder::full_stack(
+            TokenAuth::new().tenant("t", "s"),
+            AdmissionControl::new(64, 64 << 20),
+            TenantQuota::new(),
+            RateLimit::new(100, 100.0),
+            scheduler.clone(),
+        )
+        .build(cluster());
+        assert_eq!(
+            stack.middleware_names(),
+            vec![
+                "auth",
+                "admission",
+                "quota",
+                "rate-limit",
+                "fair-scheduler",
+                "logging"
+            ]
+        );
+        // The caller-held handle observes traffic through the stack.
+        let resp = stack.call(
+            RequestEnvelope::new(
+                1,
+                "t",
+                Operation::Backup {
+                    file_name: "f".into(),
+                    generation: 0,
+                },
+            )
+            .with_payload(vec![1u8; 2048])
+            .with_token("s"),
+        );
+        assert!(resp.is_ok(), "{:?}", resp);
+        assert_eq!(scheduler.granted_count(), 1);
+        assert_eq!(scheduler.completed_bytes().get("t"), Some(&2048));
     }
 
     #[test]

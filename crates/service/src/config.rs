@@ -18,12 +18,22 @@
 //! capacity = 100
 //! refill_per_sec = 50.0
 //!
+//! [admission]
+//! max_inflight_requests = 256
+//! max_inflight_bytes = 268435456
+//! retry_after_ms = 10
+//!
+//! [fair_scheduler]
+//! quantum_bytes = 262144
+//! max_tenant_inflight_bytes = 8388608
+//! max_concurrent = 8
+//!
 //! [logging]
 //! enabled = true
 //! ```
 
 use crate::builder::{ServiceBuilder, ServiceStack};
-use crate::middleware::{RateLimit, TenantQuota, TokenAuth};
+use crate::middleware::{AdmissionControl, FairScheduler, RateLimit, TenantQuota, TokenAuth};
 use sigma_core::{DedupCluster, SigmaError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -37,10 +47,53 @@ pub struct RateLimitConfig {
     pub refill_per_sec: f64,
 }
 
+/// Bounds of the admission-control layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum concurrent in-flight requests across all tenants.
+    pub max_inflight_requests: u64,
+    /// Maximum total in-flight payload bytes across all tenants.
+    pub max_inflight_bytes: u64,
+    /// Base retry-after hint in milliseconds for shed requests.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight_requests: 256,
+            max_inflight_bytes: 256 << 20,
+            retry_after_ms: AdmissionControl::DEFAULT_RETRY_AFTER_MS,
+        }
+    }
+}
+
+/// Parameters of the deficit-round-robin fair-scheduler layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairSchedulerConfig {
+    /// Bytes of deficit credit a tenant earns per scheduling round.
+    pub quantum_bytes: u64,
+    /// Cap on one tenant's concurrently executing payload bytes.
+    pub max_tenant_inflight_bytes: u64,
+    /// Cap on concurrently executing requests across all tenants.
+    pub max_concurrent: u64,
+}
+
+impl Default for FairSchedulerConfig {
+    fn default() -> Self {
+        FairSchedulerConfig {
+            quantum_bytes: 256 << 10,
+            max_tenant_inflight_bytes: 8 << 20,
+            max_concurrent: 8,
+        }
+    }
+}
+
 /// A declarative description of the middleware stack.
 ///
 /// Layers whose section is absent are omitted from the stack; present layers
-/// are assembled in the canonical order auth → quota → rate-limit → logging.
+/// are assembled in the canonical order auth → admission → quota →
+/// rate-limit → fair-scheduler → logging.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceConfig {
     /// Per-tenant bearer secrets; non-empty ⇒ auth layer.
@@ -49,6 +102,10 @@ pub struct ServiceConfig {
     pub quotas: BTreeMap<String, u64>,
     /// Rate-limit parameters; `Some` ⇒ rate-limit layer.
     pub rate_limit: Option<RateLimitConfig>,
+    /// Admission-control bounds; `Some` ⇒ admission layer.
+    pub admission: Option<AdmissionConfig>,
+    /// Fair-scheduler parameters; `Some` ⇒ fair-scheduler layer.
+    pub fair_scheduler: Option<FairSchedulerConfig>,
     /// Whether to stack the request-logging/metrics layer.
     pub logging: bool,
 }
@@ -71,7 +128,12 @@ impl ServiceConfig {
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "auth.tokens" | "quota.logical_bytes" | "rate_limit" | "logging" => {}
+                    "auth.tokens"
+                    | "quota.logical_bytes"
+                    | "rate_limit"
+                    | "admission"
+                    | "fair_scheduler"
+                    | "logging" => {}
                     other => {
                         return Err(invalid(lineno, &format!("unknown section [{}]", other)));
                     }
@@ -126,6 +188,44 @@ impl ServiceConfig {
                         }
                     }
                 }
+                "admission" => {
+                    let admission = config
+                        .admission
+                        .get_or_insert_with(AdmissionConfig::default);
+                    let bound: u64 = value
+                        .parse()
+                        .map_err(|_| invalid(lineno, "admission bounds must be integers"))?;
+                    match key.as_str() {
+                        "max_inflight_requests" => admission.max_inflight_requests = bound,
+                        "max_inflight_bytes" => admission.max_inflight_bytes = bound,
+                        "retry_after_ms" => admission.retry_after_ms = bound,
+                        other => {
+                            return Err(invalid(
+                                lineno,
+                                &format!("unknown admission key `{}`", other),
+                            ));
+                        }
+                    }
+                }
+                "fair_scheduler" => {
+                    let sched = config
+                        .fair_scheduler
+                        .get_or_insert_with(FairSchedulerConfig::default);
+                    let bound: u64 = value.parse().map_err(|_| {
+                        invalid(lineno, "fair_scheduler parameters must be integers")
+                    })?;
+                    match key.as_str() {
+                        "quantum_bytes" => sched.quantum_bytes = bound,
+                        "max_tenant_inflight_bytes" => sched.max_tenant_inflight_bytes = bound,
+                        "max_concurrent" => sched.max_concurrent = bound,
+                        other => {
+                            return Err(invalid(
+                                lineno,
+                                &format!("unknown fair_scheduler key `{}`", other),
+                            ));
+                        }
+                    }
+                }
                 "logging" => match key.as_str() {
                     "enabled" => {
                         config.logging = match value {
@@ -156,6 +256,12 @@ impl ServiceConfig {
             }
             builder = builder.auth(auth);
         }
+        if let Some(adm) = self.admission {
+            builder = builder.admission(
+                AdmissionControl::new(adm.max_inflight_requests, adm.max_inflight_bytes)
+                    .with_retry_after_ms(adm.retry_after_ms),
+            );
+        }
         if !self.quotas.is_empty() {
             let mut quota = TenantQuota::new();
             for (tenant, bytes) in self.quotas {
@@ -165,6 +271,13 @@ impl ServiceConfig {
         }
         if let Some(limit) = self.rate_limit {
             builder = builder.rate_limit(RateLimit::new(limit.capacity, limit.refill_per_sec));
+        }
+        if let Some(sched) = self.fair_scheduler {
+            builder = builder.fair_scheduler(FairScheduler::new(
+                sched.quantum_bytes,
+                sched.max_tenant_inflight_bytes,
+                sched.max_concurrent as usize,
+            ));
         }
         if self.logging {
             builder = builder.logging();
@@ -234,6 +347,16 @@ acme = 1048576
 capacity = 10
 refill_per_sec = 5.0
 
+[admission]
+max_inflight_requests = 32
+max_inflight_bytes = 1048576
+retry_after_ms = 7
+
+[fair_scheduler]
+quantum_bytes = 65536
+max_tenant_inflight_bytes = 262144
+max_concurrent = 4
+
 [logging]
 enabled = true
 "#;
@@ -251,7 +374,38 @@ enabled = true
                 refill_per_sec: 5.0
             })
         );
+        assert_eq!(
+            c.admission,
+            Some(AdmissionConfig {
+                max_inflight_requests: 32,
+                max_inflight_bytes: 1048576,
+                retry_after_ms: 7,
+            })
+        );
+        assert_eq!(
+            c.fair_scheduler,
+            Some(FairSchedulerConfig {
+                quantum_bytes: 65536,
+                max_tenant_inflight_bytes: 262144,
+                max_concurrent: 4,
+            })
+        );
         assert!(c.logging);
+    }
+
+    #[test]
+    fn partial_admission_section_fills_defaults() {
+        let c = ServiceConfig::parse("[admission]\nmax_inflight_requests = 9\n").unwrap();
+        let adm = c.admission.unwrap();
+        assert_eq!(adm.max_inflight_requests, 9);
+        assert_eq!(
+            adm.max_inflight_bytes,
+            AdmissionConfig::default().max_inflight_bytes
+        );
+        assert_eq!(
+            adm.retry_after_ms,
+            AdmissionConfig::default().retry_after_ms
+        );
     }
 
     #[test]
@@ -263,7 +417,14 @@ enabled = true
         let stack = ServiceConfig::build(EXAMPLE, cluster).unwrap();
         assert_eq!(
             stack.middleware_names(),
-            vec!["auth", "quota", "rate-limit", "logging"]
+            vec![
+                "auth",
+                "admission",
+                "quota",
+                "rate-limit",
+                "fair-scheduler",
+                "logging"
+            ]
         );
         // And it actually enforces: no token ⇒ unauthorized.
         let resp = stack.call(RequestEnvelope::new(1, "acme", Operation::Stats));
@@ -294,6 +455,13 @@ enabled = true
             ("[rate_limit]\nburst = 5\n", "unknown rate_limit key"),
             ("[rate_limit]\nrefill_per_sec = -1.0\n", "non-negative"),
             ("[rate_limit]\nrefill_per_sec = inf\n", "non-negative"),
+            ("[admission]\nslots = 5\n", "unknown admission key"),
+            ("[admission]\nmax_inflight_bytes = lots\n", "integers"),
+            (
+                "[fair_scheduler]\nweight = 2\n",
+                "unknown fair_scheduler key",
+            ),
+            ("[fair_scheduler]\nquantum_bytes = -3\n", "integers"),
             ("[logging]\nenabled = yes\n", "true or false"),
             ("stray = 1\n", "outside any section"),
             ("[logging]\nnonsense\n", "key = value"),

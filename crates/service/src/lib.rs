@@ -2,10 +2,11 @@
 //!
 //! A typed, transport-agnostic front door for the dedup cluster: every
 //! operation travels as a [`RequestEnvelope`], flows through a composable
-//! [`Middleware`] pipeline (token auth → tenant
-//! quota → rate limiting → request logging), reaches the [`BackupService`]
-//! backend that owns the [`DedupCluster`](sigma_core::DedupCluster), and
-//! comes back as a [`ResponseEnvelope`] whose [`ServiceCode`] derives from
+//! [`Middleware`] pipeline (token auth → admission control → tenant quota →
+//! rate limiting → fair scheduling → request logging), reaches the
+//! [`BackupService`] backend that owns the
+//! [`DedupCluster`](sigma_core::DedupCluster), and comes back as a
+//! [`ResponseEnvelope`] whose [`ServiceCode`] derives from
 //! [`SigmaError::code`](sigma_core::SigmaError::code) in exactly one place.
 //!
 //! ```text
@@ -13,11 +14,23 @@
 //!          ServiceStack::call    TcpClient ──frames──▶ TcpService
 //!                   │                                       │
 //!                   ▼                                       ▼
-//!            RequestEnvelope ──▶ auth ─▶ quota ─▶ rate-limit ─▶ logging
-//!                                                                 │
-//!                                                                 ▼
-//!            ResponseEnvelope ◀──────────────────────────── BackupService
+//!            RequestEnvelope ──▶ auth ─▶ admission ─▶ quota ─▶ rate-limit
+//!                                             │ 503 shed           │
+//!                                             ▼                    ▼
+//!                                        (rejection)        fair-scheduler
+//!                                                        DRR per-tenant queues
+//!                                                                  │
+//!                                                                  ▼
+//!            ResponseEnvelope ◀─────────────── logging ◀── BackupService
 //! ```
+//!
+//! The admission and fair-scheduler layers are the multi-tenant
+//! heavy-traffic additions: admission bounds how much work may exist at once
+//! (shedding the excess with a typed 503 and a deterministic retry-after
+//! hint), the deficit-round-robin scheduler divides execution *fairly* among
+//! tenants so one hot tenant cannot starve the rest, and the backend keeps
+//! per-tenant accounting ([`sigma_metrics::TenantStatsReport`], surfaced
+//! through the `Stats` operation).
 //!
 //! Two transports share the pipeline byte-for-byte: the in-process
 //! [`ServiceStack::call`] used by tests and embedders, and the framed-TCP
@@ -63,7 +76,7 @@ mod tcp;
 
 pub use backend::BackupService;
 pub use builder::{ServiceBuilder, ServiceStack};
-pub use config::{RateLimitConfig, ServiceConfig};
+pub use config::{AdmissionConfig, FairSchedulerConfig, RateLimitConfig, ServiceConfig};
 pub use envelope::{Operation, RequestEnvelope, ResponseEnvelope, AUTH_TOKEN_KEY};
 pub use middleware::{Middleware, Next, ServiceResult};
 pub use pipeline::{Backend, PipelineExecutor};

@@ -1,4 +1,4 @@
-//! The composable middleware abstraction and the four production-shaped
+//! The composable middleware abstraction and the six production-shaped
 //! middlewares that ship with the service.
 //!
 //! A [`Middleware`] wraps the rest of the pipeline: it receives the request
@@ -9,12 +9,16 @@
 //! boundary, with the [`ServiceCode`](sigma_core::ServiceCode) derived from
 //! [`SigmaError::code`](sigma_core::SigmaError::code).
 
+mod admission;
 mod auth;
+mod fair_scheduler;
 mod logging;
 mod quota;
 mod rate_limit;
 
+pub use admission::{AdmissionControl, AdmissionPermit};
 pub use auth::TokenAuth;
+pub use fair_scheduler::FairScheduler;
 pub use logging::{LogEntry, RequestLog};
 pub use quota::TenantQuota;
 pub use rate_limit::{ManualClock, RateLimit, RateLimitClock, SystemClock};

@@ -5,7 +5,41 @@ use crate::middleware::{Middleware, Next, ServiceResult};
 use crate::{backend::FREED_BYTES_KEY, RequestEnvelope};
 use parking_lot::Mutex;
 use sigma_core::SigmaError;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How many `(tenant, request_id)` delete-credit entries the idempotency
+/// ledger remembers before evicting the oldest.  A replay arriving after the
+/// window has rolled over is credited again — acceptable, because transports
+/// retry within a handful of in-flight requests, not thousands of requests
+/// later.
+const CREDIT_LEDGER_CAPACITY: usize = 4096;
+
+/// Remembers which `(tenant, request_id)` pairs have already had their
+/// `freed_bytes` credited, so a replayed delete response cannot double-credit
+/// the budget.  Bounded FIFO: oldest entries are forgotten first.
+#[derive(Debug, Default)]
+struct CreditLedger {
+    seen: HashSet<(String, u64)>,
+    order: VecDeque<(String, u64)>,
+}
+
+impl CreditLedger {
+    /// Records the pair; returns `false` when it was already present (a
+    /// replay that must not be credited again).
+    fn record(&mut self, tenant: &str, request_id: u64) -> bool {
+        let key = (tenant.to_string(), request_id);
+        if !self.seen.insert(key.clone()) {
+            return false;
+        }
+        self.order.push_back(key);
+        if self.order.len() > CREDIT_LEDGER_CAPACITY {
+            if let Some(oldest) = self.order.pop_front() {
+                self.seen.remove(&oldest);
+            }
+        }
+        true
+    }
+}
 
 /// Enforces a logical-bytes budget per tenant.
 ///
@@ -27,6 +61,7 @@ use std::collections::HashMap;
 pub struct TenantQuota {
     budgets: HashMap<String, u64>,
     used: Mutex<HashMap<String, u64>>,
+    credited: Mutex<CreditLedger>,
 }
 
 impl TenantQuota {
@@ -84,6 +119,23 @@ impl TenantQuota {
             *u = u.saturating_sub(bytes);
         }
     }
+
+    /// Credits `freed_bytes` from a delete response at most once per
+    /// `(tenant, request_id)`.
+    ///
+    /// Transports retry: a delete whose response was lost in flight is
+    /// re-sent with the *same* request id and the backend replays the same
+    /// `freed_bytes` figure.  Crediting it on every pass would hand the
+    /// tenant phantom budget, so the credit is keyed on the request id and
+    /// applied exactly once.
+    fn credit_freed_once(&self, tenant: &str, request_id: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if self.credited.lock().record(tenant, request_id) {
+            self.credit(tenant, bytes);
+        }
+    }
 }
 
 impl Middleware for TenantQuota {
@@ -93,6 +145,7 @@ impl Middleware for TenantQuota {
 
     fn handle(&self, req: RequestEnvelope, next: &dyn Next) -> ServiceResult {
         let tenant = req.tenant.clone();
+        let request_id = req.request_id;
         let reserved = if req.operation.ingests() {
             let requested = req.payload.len() as u64;
             self.reserve(&tenant, requested)?;
@@ -107,7 +160,7 @@ impl Middleware for TenantQuota {
                     // the reservation must not leak.
                     self.credit(&tenant, reserved);
                 } else if let Some(freed) = resp.metadata_u64(FREED_BYTES_KEY) {
-                    self.credit(&tenant, freed);
+                    self.credit_freed_once(&tenant, request_id, freed);
                 }
                 Ok(resp)
             }
@@ -192,6 +245,56 @@ mod tests {
         assert!(del.is_ok());
         assert_eq!(quota.usage("acme"), 200, "freed bytes returned to budget");
         assert!(p.execute(backup(3, 700)).is_ok(), "room again after delete");
+    }
+
+    #[test]
+    fn replayed_delete_response_is_credited_exactly_once() {
+        // Regression: a retried envelope replays the same request id and the
+        // backend reports the same freed_bytes; the budget used to be
+        // credited on every pass, double-counting the freed space.
+        let quota = Arc::new(TenantQuota::new().budget("acme", 1000));
+        let p = PipelineExecutor::new(
+            vec![quota.clone()],
+            Arc::new(|r: RequestEnvelope| {
+                let resp = match r.operation {
+                    Operation::DeleteFile { .. } => {
+                        ResponseEnvelope::ok(r.request_id).with_metadata(FREED_BYTES_KEY, "700")
+                    }
+                    _ => ResponseEnvelope::ok(r.request_id),
+                };
+                Ok(resp)
+            }),
+        );
+        assert!(p.execute(backup(1, 900)).is_ok());
+        assert_eq!(quota.usage("acme"), 900);
+        let delete = RequestEnvelope::new(2, "acme", Operation::DeleteFile { file_id: 1 });
+        assert!(p.execute(delete.clone()).is_ok());
+        assert_eq!(quota.usage("acme"), 200, "first delete credits 700");
+        // The transport timed out and replays the very same envelope.
+        assert!(p.execute(delete).is_ok());
+        assert_eq!(
+            quota.usage("acme"),
+            200,
+            "replaying the delete response must not credit freed_bytes again"
+        );
+        // A *different* delete request id still credits normally.
+        let other = RequestEnvelope::new(3, "acme", Operation::DeleteFile { file_id: 9 });
+        assert!(p.execute(other).is_ok());
+        assert_eq!(quota.usage("acme"), 0, "fresh request id credits again");
+    }
+
+    #[test]
+    fn credit_ledger_is_bounded_and_forgets_oldest_first() {
+        let mut ledger = CreditLedger::default();
+        for id in 0..(CREDIT_LEDGER_CAPACITY as u64 + 1) {
+            assert!(ledger.record("t", id), "fresh ids always record");
+        }
+        assert_eq!(ledger.order.len(), CREDIT_LEDGER_CAPACITY);
+        assert!(
+            ledger.record("t", 0),
+            "entry 0 was evicted by the rollover, so it records as fresh"
+        );
+        assert!(!ledger.record("t", 1000), "recent ids are still remembered");
     }
 
     #[test]

@@ -61,10 +61,22 @@ impl RateLimitClock for ManualClock {
     }
 }
 
-/// One tenant's bucket: fractional tokens plus the last refill instant.
+/// Fixed-point token scale: one token is one billion nanotokens.
+///
+/// The bucket accounts in integer nanotokens rather than an `f64` token
+/// count.  With floating accumulation, ten 1-second refills at 0.1 tokens/s
+/// summed to `0.9999999999999999` — strictly below the 1-token grant
+/// threshold — so a tenant polling every second at a low rate was starved
+/// forever, while a single 10-second refill was granted.  Each refill now
+/// converts its elapsed nanoseconds to nanotokens with one *rounded*
+/// multiplication (error ≤ half a nanotoken per refill, never compounding
+/// across the grant threshold), and grants compare integers.
+const NANOTOKENS_PER_TOKEN: u128 = 1_000_000_000;
+
+/// One tenant's bucket: whole nanotokens plus the last refill instant.
 #[derive(Debug)]
 struct Bucket {
-    tokens: f64,
+    nanotokens: u128,
     refreshed: Duration,
 }
 
@@ -145,20 +157,28 @@ impl RateLimit {
     /// Returns [`SigmaError::RateLimited`] when the bucket is empty.
     pub fn try_acquire(&self, tenant: &str) -> Result<(), SigmaError> {
         let now = self.clock.now();
+        let cap = u128::from(self.capacity) * NANOTOKENS_PER_TOKEN;
         let mut buckets = self.buckets.lock();
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
-            tokens: self.capacity as f64,
+            nanotokens: cap,
             refreshed: now,
         });
-        let elapsed = now.saturating_sub(bucket.refreshed).as_secs_f64();
-        bucket.tokens = (bucket.tokens + elapsed * self.refill_per_sec).min(self.capacity as f64);
+        // One rounded conversion per refill: elapsed nanoseconds × tokens/s
+        // is nanotokens directly (both scales are 1e9), so the only error is
+        // the final rounding — at most half a nanotoken, and it does not
+        // accumulate multiplicatively across calls.
+        let elapsed_nanos = now.saturating_sub(bucket.refreshed).as_nanos();
+        let refill = (elapsed_nanos as f64 * self.refill_per_sec).round() as u128;
+        bucket.nanotokens = bucket.nanotokens.saturating_add(refill).min(cap);
         bucket.refreshed = now;
-        if bucket.tokens >= 1.0 {
-            bucket.tokens -= 1.0;
+        if bucket.nanotokens >= NANOTOKENS_PER_TOKEN {
+            bucket.nanotokens -= NANOTOKENS_PER_TOKEN;
             Ok(())
         } else {
             let retry_after_ms = if self.refill_per_sec > 0.0 {
-                ((1.0 - bucket.tokens) / self.refill_per_sec * 1000.0).ceil() as u64
+                let deficit_tokens =
+                    (NANOTOKENS_PER_TOKEN - bucket.nanotokens) as f64 / NANOTOKENS_PER_TOKEN as f64;
+                (deficit_tokens / self.refill_per_sec * 1000.0).ceil() as u64
             } else {
                 0
             };
@@ -214,6 +234,53 @@ mod tests {
         assert!(limiter.try_acquire("t").is_ok());
         assert!(limiter.try_acquire("t").is_ok());
         assert!(limiter.try_acquire("t").is_err(), "capped at capacity 2");
+    }
+
+    #[test]
+    fn sub_interval_polling_accrues_the_same_tokens_as_one_shot_elapsed() {
+        // Regression: with f64 token accumulation, ten 1-second refills at
+        // 0.1 tokens/s summed to 0.9999999999999999 — below the 1.0 grant
+        // threshold — so a tenant polling every second at a low rate starved
+        // even though 10 elapsed seconds had earned a whole token.
+        let polled_clock = Arc::new(ManualClock::new());
+        let polled = RateLimit::new(1, 0.1).with_clock(polled_clock.clone());
+        assert!(polled.try_acquire("t").is_ok(), "initial burst token");
+        let mut granted = 0;
+        for _ in 0..10 {
+            polled_clock.advance(Duration::from_secs(1));
+            if polled.try_acquire("t").is_ok() {
+                granted += 1;
+            }
+        }
+        assert_eq!(
+            granted, 1,
+            "ten 1-second refills at 0.1 tokens/s must sum to exactly one token"
+        );
+
+        // The one-shot control: same tenant behaviour with a single refill.
+        let oneshot_clock = Arc::new(ManualClock::new());
+        let oneshot = RateLimit::new(1, 0.1).with_clock(oneshot_clock.clone());
+        assert!(oneshot.try_acquire("t").is_ok());
+        oneshot_clock.advance(Duration::from_secs(10));
+        assert!(oneshot.try_acquire("t").is_ok(), "10 s at 0.1/s is a token");
+    }
+
+    #[test]
+    fn ragged_millisecond_polling_does_not_starve_low_rates() {
+        // 2000 × 5 ms at 0.2 tokens/s is exactly two tokens; per-refill
+        // rounding error is bounded by half a nanotoken and must never push
+        // the accrual below a whole-token boundary.
+        let clock = Arc::new(ManualClock::new());
+        let limiter = RateLimit::new(1, 0.2).with_clock(clock.clone());
+        assert!(limiter.try_acquire("t").is_ok(), "burst token");
+        let mut granted = 0;
+        for _ in 0..2000 {
+            clock.advance(Duration::from_millis(5));
+            if limiter.try_acquire("t").is_ok() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 2, "10 s of 5 ms polls at 0.2/s is two tokens");
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   oldest expired one by one (delete + mark-and-sweep garbage collection),
 //!   survivors restore-verified, and physical bytes asserted to actually shrink
 //!   while never dropping below the proven-live bytes.
+//! * [`tenant_storm`] — the multi-tenant heavy-traffic scenario: a
+//!   thousand-plus concurrent clients across a hundred tenants drive the full
+//!   service stack (auth → admission → quota → rate-limit → fair-scheduler),
+//!   a hot tenant tries to hog the cluster, a subset of tenants churns
+//!   (delete + GC, optionally through a supervised node crash), and the run
+//!   scores scheduler fairness (Jain index) plus byte-level tenant isolation.
 //!
 //! # Example
 //!
@@ -50,3 +56,18 @@ pub mod crash_churn;
 pub mod experiments;
 pub mod retention_churn;
 pub mod runner;
+pub mod tenant_storm;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes this crate's CPU-heavy, timing-sensitive tests (the tenant
+    /// storms and fig4b's striping comparison): each spawns enough worker
+    /// threads to saturate the host, so two running at once oversubscribe the
+    /// CPU and turn the other's throughput or fairness assertion into noise.
+    pub(crate) fn cpu_heavy_test_turn() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

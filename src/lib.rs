@@ -18,8 +18,9 @@
 //! * [`simulation`] — the trace-driven cluster simulation and the per-figure
 //!   experiment drivers.
 //! * [`service`] — the backup service layer: request/response envelopes, the
-//!   middleware pipeline (auth, quota, rate limiting, logging) and the
-//!   in-process + framed-TCP transports in front of the cluster.
+//!   middleware pipeline (auth, admission control, quota, rate limiting, fair
+//!   scheduling, logging) and the in-process + framed-TCP transports in front
+//!   of the cluster, with per-tenant accounting surfaced through `Stats`.
 //!
 //! Most programs only need [`prelude`]:
 //!
@@ -71,7 +72,8 @@ pub use sigma_storage::{CrashMode, DiskParams, Journal, JournalRecord, StorageEr
 
 /// One-line import for programs and tests: every commonly-used type from the
 /// façade plus the helper modules (`payload`, `presets`, `runner`,
-/// `experiments`, `retention_churn`, `report`) under their short names.
+/// `experiments`, `retention_churn`, `tenant_storm`, `report`) under their
+/// short names.
 ///
 /// ```
 /// use sigma_dedupe::prelude::*;
@@ -117,9 +119,15 @@ pub mod prelude {
     pub use sigma_simulation::experiments;
     pub use sigma_simulation::retention_churn::{self, run_retention, RetentionConfig};
     pub use sigma_simulation::runner::{self, run_cluster, SimulationConfig};
+    pub use sigma_simulation::tenant_storm::{
+        self, run_tenant_storm, TenantStormConfig, TenantStormReport,
+    };
 
     // Service layer.
-    pub use sigma_service::middleware::{RateLimit, RequestLog, TenantQuota, TokenAuth};
+    pub use sigma_metrics::{jain_fairness_index, TenantStatsReport};
+    pub use sigma_service::middleware::{
+        AdmissionControl, FairScheduler, RateLimit, RequestLog, TenantQuota, TokenAuth,
+    };
     pub use sigma_service::{
         BackupService, Operation, RequestEnvelope, ResponseEnvelope, ServiceBuilder, ServiceConfig,
         ServiceStack, TcpClient, TcpService, AUTH_TOKEN_KEY,

@@ -483,6 +483,234 @@ fn replayed_drain_plans_cannot_double_adopt() {
     }
 }
 
+// ---- multi-tenant delete + GC crash window ----
+
+use sigma_dedupe::service::backend::FILE_ID_KEY;
+use sigma_dedupe::service::Backend;
+
+/// Ground truth for one tenant-tagged acknowledged backup.
+struct TenantFile {
+    tenant: &'static str,
+    file_id: u64,
+    generation: u64,
+    data: Vec<u8>,
+}
+
+/// Two tenants with overlapping payloads on a durable 3-node cluster, backed
+/// up through the tenant-tagging [`BackupService`] and acknowledged; returns
+/// the cluster, the service and per-file ground truth.
+fn tenant_acked_cluster(case: u64) -> (Arc<DedupCluster>, Arc<BackupService>, Vec<TenantFile>) {
+    let config = SigmaConfig::builder()
+        .super_chunk_size(4 * 1024)
+        .chunker(ChunkerParams::fixed(512))
+        .container_capacity(8 * 1024)
+        .cache_containers(4)
+        .durability(true)
+        // Maximal reclaim: any container with a dead byte is compacted, so
+        // the expiry window is guaranteed to append GC records to sweep over.
+        .gc_liveness_threshold(1.0)
+        .build()
+        .expect("valid test config");
+    let cluster = Arc::new(DedupCluster::with_similarity_router(3, config));
+    let service = Arc::new(BackupService::new(cluster.clone()));
+    // Shared blocks: the tenants' files deduplicate against each other, so
+    // one tenant's expiry churns containers holding the other's chunks.
+    let blocks: Vec<Vec<u8>> = (0..4u64).map(|b| payload(700, case * 77 + b)).collect();
+    let mut files = Vec::new();
+    let mut request_id = 1u64;
+    for (t, tenant) in ["alpha", "beta"].into_iter().enumerate() {
+        for generation in 0..2u64 {
+            let mut data = Vec::new();
+            for pick in 0..8u64 {
+                data.extend_from_slice(&blocks[((pick + generation) % 4) as usize]);
+                data.extend_from_slice(&payload(
+                    1200,
+                    case * 1000 + (t as u64) * 100 + generation * 10 + pick,
+                ));
+            }
+            let resp = service
+                .call(
+                    RequestEnvelope::new(
+                        request_id,
+                        tenant,
+                        Operation::Backup {
+                            file_name: format!("{tenant}-g{generation}"),
+                            generation,
+                        },
+                    )
+                    .with_payload(data.clone()),
+                )
+                .expect("acked backup cannot fail");
+            request_id += 1;
+            files.push(TenantFile {
+                tenant,
+                file_id: resp.metadata_u64(FILE_ID_KEY).expect("backup returns id"),
+                generation,
+                data,
+            });
+        }
+    }
+    cluster.try_flush().expect("no fault armed yet");
+    (cluster, service, files)
+}
+
+/// Alpha's generation 0 is expired; everything else must survive, and the
+/// per-tenant live bytes must still partition the cluster's logical total.
+fn assert_tenant_state(
+    cluster: &DedupCluster,
+    service: &BackupService,
+    files: &[TenantFile],
+    request_id: &mut u64,
+) {
+    for file in files {
+        *request_id += 1;
+        let resp = service.call(RequestEnvelope::new(
+            *request_id,
+            file.tenant,
+            Operation::Restore {
+                file_id: file.file_id,
+            },
+        ));
+        if file.tenant == "alpha" && file.generation == 0 {
+            assert!(
+                matches!(resp, Err(SigmaError::FileNotFound(_))),
+                "expired file {} must stay expired",
+                file.file_id
+            );
+        } else {
+            let resp = resp.unwrap_or_else(|e| {
+                panic!(
+                    "{} file {} failed to restore: {}",
+                    file.tenant, file.file_id, e
+                )
+            });
+            assert_eq!(
+                resp.payload, file.data,
+                "{} file {} corrupted by alpha's churn",
+                file.tenant, file.file_id
+            );
+        }
+    }
+    let live_sum: u64 = service
+        .tenant_stats()
+        .values()
+        .map(|r| r.live_logical_bytes)
+        .sum();
+    assert_eq!(
+        live_sum,
+        cluster.stats().logical_bytes,
+        "per-tenant live bytes must partition the cluster total"
+    );
+    for id in 0..3 {
+        cluster
+            .node_by_id(id)
+            .unwrap()
+            .verify_consistency()
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Killing a node at every journal append inside one tenant's expiry
+    /// window (delete generation + mark-and-sweep) converges, after recovery
+    /// and one re-run of the sweep, to the fault-free end state — with the
+    /// *other* tenant's files byte-identical throughout and per-tenant
+    /// accounting still partitioning the cluster.
+    #[test]
+    fn tenant_expiry_crash_window_preserves_other_tenants(case in 0u64..1000) {
+        // Fault-free baseline: end-state physical bytes plus the journal
+        // window the delete + sweep spans on each node.
+        let (physical_expected, spans) = {
+            let (cluster, service, files) = tenant_acked_cluster(case);
+            let before: Vec<u64> = (0..3)
+                .map(|id| cluster.node_by_id(id).unwrap().journal().unwrap().next_seq())
+                .collect();
+            let mut request_id = 1000u64;
+            service
+                .call(RequestEnvelope::new(
+                    request_id,
+                    "alpha",
+                    Operation::DeleteGeneration { generation: 0 },
+                ))
+                .expect("generation exists");
+            service
+                .call(RequestEnvelope::new(request_id + 1, "alpha", Operation::CollectGarbage))
+                .expect("no fault armed");
+            assert_tenant_state(&cluster, &service, &files, &mut request_id);
+            let spans: Vec<(u64, u64)> = (0..3)
+                .map(|id| {
+                    let after = cluster.node_by_id(id).unwrap().journal().unwrap().next_seq();
+                    (before[id], after)
+                })
+                .collect();
+            (cluster.stats().physical_bytes, spans)
+        };
+        prop_assert!(
+            spans.iter().any(|&(start, end)| end > start),
+            "the expiry window must append journal records to sweep over"
+        );
+
+        for (victim, &(start, end)) in spans.iter().enumerate() {
+            for seq in start..end {
+                let mode = if (seq + case) % 2 == 0 { CrashMode::Torn } else { CrashMode::Clean };
+                let (cluster, service, files) = tenant_acked_cluster(case);
+                let journal = cluster.node_by_id(victim).unwrap().journal().unwrap().clone();
+                save_artifact("tenant-expiry", &journal.bytes());
+                journal.arm_crash_at_seq(seq, mode);
+
+                let mut request_id = 2000u64;
+                // The deletion is director state: it succeeds even if its
+                // journal audit record fires the armed crash (swallowed).
+                service
+                    .call(RequestEnvelope::new(
+                        request_id,
+                        "alpha",
+                        Operation::DeleteGeneration { generation: 0 },
+                    ))
+                    .expect("generation exists");
+                match service.call(RequestEnvelope::new(
+                    request_id + 1,
+                    "alpha",
+                    Operation::CollectGarbage,
+                )) {
+                    Ok(_) => {
+                        prop_assert!(
+                            !cluster.crashed_nodes().is_empty() || journal.next_seq() <= seq,
+                            "armed seq {} on node {} never fired", seq, victim
+                        );
+                    }
+                    Err(e) => {
+                        prop_assert!(
+                            matches!(e, SigmaError::Storage(StorageError::Crashed)),
+                            "sweep failed for a non-crash reason: {}", e
+                        );
+                    }
+                }
+                if !cluster.crashed_nodes().is_empty() {
+                    save_artifact("tenant-expiry", &journal.bytes());
+                    cluster.restart_node(victim).expect("recoverable");
+                }
+                // One re-run finishes whatever the crash interrupted.
+                service
+                    .call(RequestEnvelope::new(request_id + 2, "alpha", Operation::CollectGarbage))
+                    .expect("retried sweep cannot crash again");
+                request_id += 10;
+
+                prop_assert_eq!(
+                    cluster.stats().physical_bytes,
+                    physical_expected,
+                    "victim {} seq {} ({:?}): expiry did not converge",
+                    victim, seq, mode
+                );
+                assert_tenant_state(&cluster, &service, &files, &mut request_id);
+            }
+        }
+        clear_artifact("tenant-expiry");
+    }
+}
+
 /// Restarting a node that never crashed is a harmless (if pointless) operation:
 /// the node comes back from its journal serving the same acknowledged bytes.
 #[test]
