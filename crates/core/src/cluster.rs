@@ -960,7 +960,42 @@ impl DedupCluster {
             ))
         })?;
         drop(old); // the crashed in-memory state is discarded, only the journal survives
-        let (node, mut report) = DedupNode::recover(id, &self.config, journal)?;
+        let (node, report) = DedupNode::recover(id, &self.config, journal)?;
+        self.install_recovered_node(id, node, report)
+    }
+
+    /// Like [`restart_node`](Self::restart_node), but re-opens the node's
+    /// journal from its on-disk directory instead of reusing the surviving
+    /// in-memory [`Journal`](sigma_storage::Journal) handle — the
+    /// process-restart path for clusters configured with
+    /// [`BackendKind::File`](sigma_storage::BackendKind::File).  Nothing from
+    /// the crashed node object is consulted; the node ID only has to be one the
+    /// cluster knows so the recovered node lands back in its slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::UnknownNode`] for an ID the cluster never had,
+    /// [`SigmaError::InvalidConfig`] when the config has no file-backed
+    /// storage directory for the node, and [`SigmaError::Storage`] when the
+    /// directory or its journal cannot be opened.
+    pub fn restart_node_from_disk(&self, id: usize) -> Result<RecoveryReport> {
+        if self.node_by_id(id).is_none() {
+            return Err(SigmaError::UnknownNode(id));
+        }
+        let (node, report) = DedupNode::recover_from_dir(id, &self.config)?;
+        self.install_recovered_node(id, node, report)
+    }
+
+    /// Shared tail of [`restart_node`](Self::restart_node) and
+    /// [`restart_node_from_disk`](Self::restart_node_from_disk): swaps the
+    /// recovered node into the directory (and its slot, if active) and
+    /// reconciles migrations the crash cut in half.
+    fn install_recovered_node(
+        &self,
+        id: usize,
+        node: DedupNode,
+        mut report: RecoveryReport,
+    ) -> Result<RecoveryReport> {
         let node = Arc::new(node);
         {
             let mut m = self.membership.write();

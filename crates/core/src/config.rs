@@ -4,7 +4,8 @@ use crate::SigmaError;
 use serde::{Deserialize, Serialize};
 use sigma_chunking::ChunkerParams;
 use sigma_hashkit::FingerprintAlgorithm;
-use sigma_storage::DiskParams;
+use sigma_storage::{BackendKind, DiskParams};
+use std::path::PathBuf;
 
 /// Tunable parameters of backup clients, deduplication nodes and the cluster.
 ///
@@ -86,6 +87,24 @@ pub struct SigmaConfig {
     /// zero/negative/non-finite value cannot poison simulated latencies with
     /// inf/NaN.  Default: [`DiskParams::default`] (the paper's testbed HDD).
     pub disk_params: DiskParams,
+    /// Which storage backend each node's journal and container store live on.
+    ///
+    /// * [`BackendKind::SimDisk`] (the default): volatile buffers charged to the
+    ///   node's simulated [`DiskModel`](sigma_storage::DiskModel) — exactly the
+    ///   behaviour every figure reproduction and fault-injection test runs
+    ///   against;
+    /// * [`BackendKind::Memory`]: volatile buffers with no disk accounting;
+    /// * [`BackendKind::File`]: one real directory per node under
+    ///   [`storage_root`](Self::storage_root) (`node-<id>/` holding
+    ///   `journal.wal` and `container-*.sc`), fsynced at the acknowledgement
+    ///   points, surviving an actual process restart.  Requires `storage_root`
+    ///   and [`durability`](Self::durability) — file persistence without a
+    ///   write-ahead journal could not be recovered.
+    pub storage_backend: BackendKind,
+    /// Directory the file backend keeps per-node subdirectories under.
+    /// Required (and only meaningful) when `storage_backend` is
+    /// [`BackendKind::File`].  Default: `None`.
+    pub storage_root: Option<PathBuf>,
     /// Garbage-collection liveness threshold in `[0, 1]`: during a sweep, a
     /// sealed container whose live fraction (bytes referenced by surviving
     /// recipes / total bytes) falls *below* this value is compacted — its live
@@ -111,6 +130,8 @@ impl Default for SigmaConfig {
             parallelism: 1,
             durability: false,
             disk_params: DiskParams::default(),
+            storage_backend: BackendKind::SimDisk,
+            storage_root: None,
             gc_liveness_threshold: 0.5,
         }
     }
@@ -203,11 +224,37 @@ impl SigmaConfig {
                 self.gc_liveness_threshold
             )));
         }
+        if self.storage_backend == BackendKind::File {
+            if self.storage_root.is_none() {
+                return Err(SigmaError::InvalidConfig(
+                    "storage_backend = file requires storage_root".to_string(),
+                ));
+            }
+            if !self.durability {
+                return Err(SigmaError::InvalidConfig(
+                    "storage_backend = file requires durability: without a write-ahead \
+                     journal the on-disk state could never be recovered"
+                        .to_string(),
+                ));
+            }
+        }
         self.chunker.validate().map_err(SigmaError::InvalidConfig)?;
         self.disk_params
             .validate()
             .map_err(|e| SigmaError::InvalidConfig(e.to_string()))?;
         Ok(())
+    }
+
+    /// The directory a node's file backend lives in: `storage_root/node-<id>`.
+    ///
+    /// `None` when the configured backend is not [`BackendKind::File`].
+    pub fn node_storage_dir(&self, node_id: usize) -> Option<PathBuf> {
+        if self.storage_backend != BackendKind::File {
+            return None;
+        }
+        self.storage_root
+            .as_ref()
+            .map(|root| root.join(format!("node-{}", node_id)))
     }
 }
 
@@ -297,6 +344,27 @@ impl SigmaConfigBuilder {
     pub fn disk_params(mut self, params: DiskParams) -> Self {
         self.config.disk_params = params;
         self
+    }
+
+    /// Sets the storage backend kind (validated by [`build`](Self::build):
+    /// [`BackendKind::File`] requires a storage root and durability).
+    pub fn storage_backend(mut self, kind: BackendKind) -> Self {
+        self.config.storage_backend = kind;
+        self
+    }
+
+    /// Sets the directory the file backend keeps per-node state under.
+    pub fn storage_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.config.storage_root = Some(root.into());
+        self
+    }
+
+    /// Convenience: selects the file backend rooted at `root`, enabling the
+    /// durability (write-ahead journaling) it requires.
+    pub fn file_storage(self, root: impl Into<PathBuf>) -> Self {
+        self.storage_backend(BackendKind::File)
+            .storage_root(root)
+            .durability(true)
     }
 
     /// Sets the GC liveness threshold (fraction in `[0, 1]`; validated by
@@ -489,6 +557,47 @@ mod tests {
             assert_eq!(c.gc_liveness_threshold, ok);
         }
         assert_eq!(SigmaConfig::default().gc_liveness_threshold, 0.5);
+    }
+
+    #[test]
+    fn file_backend_requires_root_and_durability() {
+        assert_eq!(
+            SigmaConfig::default().storage_backend,
+            BackendKind::SimDisk,
+            "the simulated disk stays the default"
+        );
+        assert_eq!(SigmaConfig::default().storage_root, None);
+        // File backend without a root is rejected.
+        let err = SigmaConfig::builder()
+            .storage_backend(BackendKind::File)
+            .durability(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(&err, SigmaError::InvalidConfig(msg) if msg.contains("storage_root")));
+        // File backend without durability is rejected (nothing could recover it).
+        let err = SigmaConfig::builder()
+            .storage_backend(BackendKind::File)
+            .storage_root("/tmp/sigma-test")
+            .build()
+            .unwrap_err();
+        assert!(matches!(&err, SigmaError::InvalidConfig(msg) if msg.contains("durability")));
+        // The convenience setter satisfies both constraints at once.
+        let c = SigmaConfig::builder()
+            .file_storage("/tmp/sigma-test")
+            .build()
+            .unwrap();
+        assert_eq!(c.storage_backend, BackendKind::File);
+        assert!(c.durability);
+        assert_eq!(
+            c.node_storage_dir(3),
+            Some(PathBuf::from("/tmp/sigma-test/node-3"))
+        );
+        // Memory backend is accepted without either.
+        let mem = SigmaConfig::builder()
+            .storage_backend(BackendKind::Memory)
+            .build()
+            .unwrap();
+        assert_eq!(mem.node_storage_dir(0), None);
     }
 
     #[test]

@@ -20,9 +20,10 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 use sigma_storage::{
-    CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, Container, ContainerId,
-    ContainerStore, ContainerStoreStats, DiskModel, DiskStats, FingerprintCache, Journal,
-    JournalRecord, NodeSnapshot, SimilarityIndex, SimilarityIndexStats, StreamId,
+    BackendKind, CacheStats, ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome, Container,
+    ContainerId, ContainerStore, ContainerStoreStats, DiskModel, DiskStats, FileBackend,
+    FingerprintCache, Journal, JournalRecord, MemoryBackend, NodeSnapshot, SimDiskBackend,
+    SimilarityIndex, SimilarityIndexStats, StorageBackend, StreamId,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -175,6 +176,13 @@ pub struct RecoveryReport {
     /// Half-completed migrations finished by cluster-level reconciliation (only
     /// set by [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)).
     pub reconciled_migrations: u64,
+    /// Container objects on the persistent backend that matched the replayed
+    /// state byte-for-byte (always 0 on volatile backends).
+    pub backend_objects_verified: u64,
+    /// Container objects rewritten from the journal-derived truth or swept as
+    /// orphans during post-replay reconciliation (always 0 on volatile
+    /// backends, and 0 on a healthy persistent medium).
+    pub backend_objects_repaired: u64,
 }
 
 /// What one node-local GC sweep reclaimed — the per-node half of a
@@ -211,10 +219,27 @@ impl DedupNode {
     /// The one place a node's structures are wired together: `new` asks for a
     /// journal for immediate write-through, `recover` builds without one (replay
     /// must not append to the journal it is reading) and attaches it afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured file backend's directory cannot be created or
+    /// reset — a node whose durable medium is unusable must not come up.
     fn empty(id: usize, config: &SigmaConfig, journaled: bool) -> Self {
         let disk = Arc::new(DiskModel::new(config.disk_params));
-        let journal = journaled.then(|| Arc::new(Journal::with_disk(disk.clone())));
-        let mut store = ContainerStore::new(config.container_capacity).with_disk(disk.clone());
+        let backend = Self::build_backend(id, config, &disk);
+        if journaled && backend.persistent() {
+            // A brand-new durable node starts from a clean slate: stale objects
+            // from a previous incarnation in a reused directory must not leak
+            // into (or shadow) the new node's state.  Recovery (`journaled ==
+            // false` here, journal attached afterwards) never wipes.
+            for obj in backend.list().expect("scan node storage directory") {
+                backend.delete(obj).expect("reset node storage directory");
+            }
+        }
+        let journal = journaled.then(|| {
+            Arc::new(Journal::with_backend(backend.clone()).expect("initialize journal object"))
+        });
+        let mut store = ContainerStore::new(config.container_capacity).with_backend(backend);
         if let Some(journal) = &journal {
             store = store.with_journal(journal.clone());
         }
@@ -233,6 +258,29 @@ impl DedupNode {
             open_fingerprints: Mutex::new(HashMap::new()),
             forwarding: RwLock::new(HashMap::new()),
             journal,
+        }
+    }
+
+    /// Builds the storage backend [`SigmaConfig::storage_backend`] selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file backend's directory cannot be opened; config
+    /// validation guarantees `storage_root` is present for the file kind.
+    fn build_backend(
+        id: usize,
+        config: &SigmaConfig,
+        disk: &Arc<DiskModel>,
+    ) -> Arc<dyn StorageBackend> {
+        match config.storage_backend {
+            BackendKind::Memory => Arc::new(MemoryBackend::new()),
+            BackendKind::SimDisk => Arc::new(SimDiskBackend::new(disk.clone())),
+            BackendKind::File => {
+                let dir = config
+                    .node_storage_dir(id)
+                    .expect("validated: file backend has a storage root");
+                Arc::new(FileBackend::open(dir).expect("open node storage directory"))
+            }
         }
     }
 
@@ -277,10 +325,44 @@ impl DedupNode {
             node.apply_record(record, &mut report);
         }
         node.prune_dangling_similarity_entries();
+        // On a persistent backend, reconcile the container objects on the
+        // medium with the journal-derived truth: rewrite missing/mismatched
+        // objects, sweep orphans whose seal was torn away with the tail.
+        let (verified, repaired) = node
+            .store
+            .sync_backend_objects()
+            .map_err(SigmaError::Storage)?;
+        report.backend_objects_verified = verified;
+        report.backend_objects_repaired = repaired;
         let mut node = node;
         node.store = node.store.with_journal(journal.clone());
         node.journal = Some(journal);
         Ok((node, report))
+    }
+
+    /// Rebuilds a node from the on-disk directory a previous *process* left
+    /// behind — the restart path for [`BackendKind::File`] storage, where the
+    /// journal handle itself did not survive.
+    ///
+    /// Opens `storage_root/node-<id>`, adopts the `journal.wal` found there and
+    /// runs the ordinary [`recover`](Self::recover) replay against it (torn
+    /// tails are truncated, container objects reconciled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::InvalidConfig`] when `config` does not select the
+    /// file backend, and [`SigmaError::Storage`] when the directory cannot be
+    /// opened or read.
+    pub fn recover_from_dir(id: usize, config: &SigmaConfig) -> Result<(Self, RecoveryReport)> {
+        let dir = config.node_storage_dir(id).ok_or_else(|| {
+            SigmaError::InvalidConfig(
+                "recover_from_dir requires storage_backend = file and a storage_root".to_string(),
+            )
+        })?;
+        let backend: Arc<dyn StorageBackend> =
+            Arc::new(FileBackend::open(dir).map_err(SigmaError::Storage)?);
+        let journal = Arc::new(Journal::open(backend).map_err(SigmaError::Storage)?);
+        Self::recover(id, config, journal)
     }
 
     /// Drops replayed similarity entries whose container never became durable.
@@ -1147,6 +1229,22 @@ impl DedupNode {
                 "store counts {} stored chunks but containers hold {}",
                 stats.stored_chunks, chunks
             ));
+        }
+        // The same figure derived from the storage *backend* (decoded from the
+        // container objects actually on the medium, when one persists them)
+        // must agree with the counter- and directory-derived figures above —
+        // this is what keeps the file backend's reports identical to the
+        // volatile backends' instead of silently drifting.
+        match self.store.backend_physical_bytes() {
+            Ok(backend_bytes) => {
+                if backend_bytes != bytes {
+                    return Err(format!(
+                        "storage backend holds {} bytes of container objects but the directory holds {}",
+                        backend_bytes, bytes
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("storage backend unreadable: {}", e)),
         }
         Ok(())
     }

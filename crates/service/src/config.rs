@@ -30,12 +30,18 @@
 //!
 //! [logging]
 //! enabled = true
+//!
+//! [storage]
+//! backend = "file"
+//! dir = "/var/lib/sigma"
 //! ```
 
 use crate::builder::{ServiceBuilder, ServiceStack};
 use crate::middleware::{AdmissionControl, FairScheduler, RateLimit, TenantQuota, TokenAuth};
-use sigma_core::{DedupCluster, SigmaError};
+use sigma_core::{DedupCluster, SigmaConfig, SigmaError};
+use sigma_storage::BackendKind;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Token-bucket parameters of the rate-limit layer.
@@ -89,6 +95,20 @@ impl Default for FairSchedulerConfig {
     }
 }
 
+/// Storage-backend selection for the cluster the stack fronts.
+///
+/// Unlike the middleware sections this does not add a layer: it is applied
+/// to the [`SigmaConfig`] the cluster is built from (see
+/// [`ServiceConfig::apply_storage`]), so a deployment's persistence mode
+/// lives in the same file as its middleware stack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StorageConfig {
+    /// Which [`StorageBackend`](sigma_storage::StorageBackend) nodes use.
+    pub backend: BackendKind,
+    /// Root directory for the `file` backend (one subdirectory per node).
+    pub dir: Option<PathBuf>,
+}
+
 /// A declarative description of the middleware stack.
 ///
 /// Layers whose section is absent are omitted from the stack; present layers
@@ -108,6 +128,9 @@ pub struct ServiceConfig {
     pub fair_scheduler: Option<FairSchedulerConfig>,
     /// Whether to stack the request-logging/metrics layer.
     pub logging: bool,
+    /// Cluster storage-backend selection; `Some` ⇒ apply to the cluster's
+    /// [`SigmaConfig`] via [`apply_storage`](Self::apply_storage).
+    pub storage: Option<StorageConfig>,
 }
 
 impl ServiceConfig {
@@ -133,7 +156,8 @@ impl ServiceConfig {
                     | "rate_limit"
                     | "admission"
                     | "fair_scheduler"
-                    | "logging" => {}
+                    | "logging"
+                    | "storage" => {}
                     other => {
                         return Err(invalid(lineno, &format!("unknown section [{}]", other)));
                     }
@@ -238,6 +262,33 @@ impl ServiceConfig {
                         return Err(invalid(lineno, &format!("unknown logging key `{}`", other)));
                     }
                 },
+                "storage" => {
+                    let storage = config.storage.get_or_insert_with(StorageConfig::default);
+                    match key.as_str() {
+                        "backend" => {
+                            let name = parse_string(value).ok_or_else(|| {
+                                invalid(lineno, "backend must be a quoted string")
+                            })?;
+                            storage.backend = BackendKind::parse(&name).ok_or_else(|| {
+                                invalid(
+                                    lineno,
+                                    "backend must be \"memory\", \"sim-disk\" or \"file\"",
+                                )
+                            })?;
+                        }
+                        "dir" => {
+                            let dir = parse_string(value)
+                                .ok_or_else(|| invalid(lineno, "dir must be a quoted string"))?;
+                            storage.dir = Some(PathBuf::from(dir));
+                        }
+                        other => {
+                            return Err(invalid(
+                                lineno,
+                                &format!("unknown storage key `{}`", other),
+                            ));
+                        }
+                    }
+                }
                 "" => return Err(invalid(lineno, "key outside any section")),
                 _ => unreachable!("sections are validated on entry"),
             }
@@ -285,7 +336,36 @@ impl ServiceConfig {
         builder
     }
 
+    /// Applies the `[storage]` section (if present) to a [`SigmaConfig`],
+    /// returning the config the cluster should be built from.  `backend =
+    /// "file"` also turns durability on — a file-backed node without a
+    /// write-ahead journal could never recover its on-disk state — mirroring
+    /// [`SigmaConfig::builder`]'s `file_storage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaError::InvalidConfig`] when the resulting config fails
+    /// validation — in particular `backend = "file"` without a `dir`.
+    pub fn apply_storage(&self, mut config: SigmaConfig) -> Result<SigmaConfig, SigmaError> {
+        if let Some(storage) = &self.storage {
+            config.storage_backend = storage.backend;
+            if let Some(dir) = &storage.dir {
+                config.storage_root = Some(dir.clone());
+            }
+            if storage.backend == BackendKind::File {
+                config.durability = true;
+            }
+            config.validate()?;
+        }
+        Ok(config)
+    }
+
     /// Parses and assembles in one step.
+    ///
+    /// The `[storage]` section is carried in the parsed description but not
+    /// applied here — the cluster already exists; use
+    /// [`apply_storage`](Self::apply_storage) before building the cluster
+    /// when the config file should pick the persistence mode.
     ///
     /// # Errors
     ///
@@ -476,6 +556,53 @@ enabled = true
             }
             assert_eq!(err.code(), ServiceCode::InvalidRequest);
         }
+    }
+
+    #[test]
+    fn storage_section_parses_and_applies() {
+        let c =
+            ServiceConfig::parse("[storage]\nbackend = \"file\"\ndir = \"/tmp/sig\"\n").unwrap();
+        let storage = c.storage.as_ref().unwrap();
+        assert_eq!(storage.backend, sigma_storage::BackendKind::File);
+        assert_eq!(
+            storage.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/sig"))
+        );
+        let applied = c.apply_storage(SigmaConfig::default()).unwrap();
+        assert_eq!(applied.storage_backend, sigma_storage::BackendKind::File);
+        assert!(applied.durability, "file backend must imply durability");
+        assert!(applied.node_storage_dir(3).unwrap().ends_with("node-3"));
+
+        // Absent section leaves the config untouched.
+        let untouched = ServiceConfig::default()
+            .apply_storage(SigmaConfig::default())
+            .unwrap();
+        assert_eq!(
+            untouched.storage_backend,
+            sigma_storage::BackendKind::SimDisk
+        );
+        assert!(!untouched.durability);
+    }
+
+    #[test]
+    fn storage_section_rejects_bad_values() {
+        for (text, needle) in [
+            ("[storage]\nbackend = \"tape\"\n", "backend must be"),
+            ("[storage]\nbackend = file\n", "quoted string"),
+            ("[storage]\nmedium = \"file\"\n", "unknown storage key"),
+        ] {
+            let err = ServiceConfig::parse(text).unwrap_err();
+            match &err {
+                SigmaError::InvalidConfig(msg) => {
+                    assert!(msg.contains(needle), "`{}` missing from `{}`", needle, msg);
+                }
+                other => panic!("expected InvalidConfig, got {:?}", other),
+            }
+        }
+        // A file backend without a directory fails at apply time.
+        let c = ServiceConfig::parse("[storage]\nbackend = \"file\"\n").unwrap();
+        let err = c.apply_storage(SigmaConfig::default()).unwrap_err();
+        assert!(matches!(err, SigmaError::InvalidConfig(_)));
     }
 
     #[test]

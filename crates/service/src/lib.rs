@@ -76,7 +76,9 @@ mod tcp;
 
 pub use backend::BackupService;
 pub use builder::{ServiceBuilder, ServiceStack};
-pub use config::{AdmissionConfig, FairSchedulerConfig, RateLimitConfig, ServiceConfig};
+pub use config::{
+    AdmissionConfig, FairSchedulerConfig, RateLimitConfig, ServiceConfig, StorageConfig,
+};
 pub use envelope::{Operation, RequestEnvelope, ResponseEnvelope, AUTH_TOKEN_KEY};
 pub use middleware::{Middleware, Next, ServiceResult};
 pub use pipeline::{Backend, PipelineExecutor};

@@ -25,7 +25,7 @@
 //!    and no container may have been lost or duplicated by the crash.
 
 use sigma_core::{BackupClient, DedupCluster, RecoveryReport, SigmaConfig, SigmaError};
-use sigma_storage::{CrashMode, StorageError};
+use sigma_storage::{BackendKind, CrashMode, StorageError};
 use sigma_workloads::payload::{versioned_payloads, VersionedPayloadParams};
 use sigma_workloads::DeterministicRng;
 use std::collections::HashMap;
@@ -140,6 +140,29 @@ impl Default for CrashChurnConfig {
                 .build()
                 .expect("default crash-churn config is valid"),
         }
+    }
+}
+
+impl CrashChurnConfig {
+    /// The default scenario re-parameterized onto a different storage backend.
+    ///
+    /// For [`BackendKind::File`] a `storage_root` must be set on the returned
+    /// config's `sigma` (see [`with_file_storage`](Self::with_file_storage));
+    /// the driver then recovers crashed nodes through
+    /// [`DedupCluster::restart_node_from_disk`] — re-opening the journal from
+    /// the node's directory instead of the surviving in-memory handle — so the
+    /// sweep exercises the actual process-restart path.
+    pub fn with_backend(kind: BackendKind) -> Self {
+        let mut config = CrashChurnConfig::default();
+        config.sigma.storage_backend = kind;
+        config
+    }
+
+    /// The default scenario on the real-file backend rooted at `root`.
+    pub fn with_file_storage(root: impl Into<std::path::PathBuf>) -> Self {
+        let mut config = CrashChurnConfig::with_backend(BackendKind::File);
+        config.sigma.storage_root = Some(root.into());
+        config
     }
 }
 
@@ -394,17 +417,24 @@ fn retry_crashed<T>(
     }
 }
 
-/// Restarts every crashed node, recording the recovery reports.
+/// Restarts every crashed node, recording the recovery reports.  On the file
+/// backend the restart goes through the on-disk directory — the surviving
+/// in-memory journal handle is deliberately not reused, so every recovery in
+/// the sweep proves the process-restart path.
 fn recover_all(cluster: &DedupCluster, recoveries: &mut Vec<RecoveryReport>) {
     let crashed = cluster.crashed_nodes();
     assert!(
         !crashed.is_empty(),
         "a crash error surfaced but no node reports a crashed journal"
     );
+    let from_disk = cluster.config().storage_backend == BackendKind::File;
     for id in crashed {
-        let report = cluster
-            .restart_node(id)
-            .expect("a journaled node must be recoverable");
+        let report = if from_disk {
+            cluster.restart_node_from_disk(id)
+        } else {
+            cluster.restart_node(id)
+        }
+        .expect("a journaled node must be recoverable");
         recoveries.push(report);
     }
 }
@@ -464,6 +494,49 @@ mod tests {
             a.baseline.physical_bytes, b.baseline.physical_bytes,
             "baseline runs are bit-stable"
         );
+    }
+
+    #[test]
+    fn crash_churn_outcomes_match_across_backends() {
+        let root = std::env::temp_dir().join(format!(
+            "sigma-crash-churn-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut file_config = CrashChurnConfig::with_file_storage(&root);
+        file_config.kill_points = 2;
+        let mut memory_config = CrashChurnConfig::with_backend(BackendKind::Memory);
+        memory_config.kill_points = 2;
+        let sim_config = CrashChurnConfig {
+            kill_points: 2,
+            ..CrashChurnConfig::default()
+        };
+
+        let file = run_crash_churn(&file_config);
+        let memory = run_crash_churn(&memory_config);
+        let sim = run_crash_churn(&sim_config);
+
+        for outcome in [&file, &memory, &sim] {
+            assert!(outcome.all_clean());
+            assert!(outcome.total_recoveries() >= outcome.kills.len());
+        }
+        // The workload is deterministic and the backend invisible to it: the
+        // sampled kill plans and every outcome figure must be bit-identical.
+        for other in [&memory, &sim] {
+            assert_eq!(file.baseline.files, other.baseline.files);
+            assert_eq!(file.baseline.physical_bytes, other.baseline.physical_bytes);
+            for (a, b) in file.kills.iter().zip(&other.kills) {
+                assert_eq!(a.plan, b.plan, "kill plans must match across backends");
+                assert_eq!(a.restored_intact, b.restored_intact);
+                assert_eq!(a.physical_bytes, b.physical_bytes);
+            }
+        }
+        // The file-backend sweep really went through the on-disk directories.
+        assert!(root.join("node-0").join("journal.wal").exists());
+        std::fs::remove_dir_all(&root).expect("clean up scenario directory");
     }
 
     #[test]

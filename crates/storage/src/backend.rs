@@ -1,0 +1,791 @@
+//! Pluggable storage backends: the durable medium beneath the journal and the
+//! container store.
+//!
+//! The ILDG-style middleware separation the service layer follows — grid
+//! services composed over abstract storage elements — applies one level down
+//! too: [`Journal`](crate::Journal) and [`ContainerStore`](crate::ContainerStore)
+//! talk to a [`StorageBackend`] trait instead of a `Vec<u8>` welded into the
+//! struct, and three implementations plug in beneath them:
+//!
+//! | backend | medium | survives process exit | disk accounting |
+//! |---|---|---|---|
+//! | [`MemoryBackend`] | RAM object map | no | none |
+//! | [`SimDiskBackend`] | RAM object map | no | yes — carries the node's [`DiskModel`] |
+//! | [`FileBackend`] | one directory of real files | **yes** | none (real I/O pays real time) |
+//!
+//! The volatile backends keep every figure reproduction and fault-injection
+//! test deterministic: [`SimDiskBackend`] is exactly the pre-existing
+//! "simulated durable medium" (RAM contents, `DiskModel` charges), re-expressed
+//! as a backend object.  [`FileBackend`] maps each object to a file in a
+//! per-node directory (`journal.wal`, `container-<id>.sc`), fsyncs at the
+//! existing acknowledgement points (every journal append is an ack point) and
+//! replaces the journal atomically on compaction via
+//! write-new / fsync / rename / fsync-dir — so a node's containers and journal
+//! survive an actual process restart, not just a simulated one.
+//!
+//! Charging discipline: the callers (journal, store, chunk index) decide *what*
+//! an operation costs and charge the [`DiskModel`] they obtain from
+//! [`StorageBackend::disk`]; backends never charge on their own.  This keeps
+//! the simulated figures bit-identical whether the medium is a RAM map or a
+//! backend object, and makes the file backend's simulated-I/O figures
+//! honestly zero.
+
+use crate::{ContainerId, DiskModel, Result, StorageError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One durable object a backend stores for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StorageObject {
+    /// The node's write-ahead journal (`journal.wal` on the file backend).
+    Journal,
+    /// One sealed container (`container-<id>.sc` on the file backend).
+    Container(ContainerId),
+}
+
+impl StorageObject {
+    /// The object's file name on the file backend.
+    pub fn file_name(&self) -> String {
+        match self {
+            StorageObject::Journal => "journal.wal".to_string(),
+            StorageObject::Container(id) => format!("container-{}.sc", id.as_u64()),
+        }
+    }
+
+    /// Parses a file name back into an object (the inverse of
+    /// [`file_name`](Self::file_name)); temp files and foreign names are `None`.
+    pub fn from_file_name(name: &str) -> Option<StorageObject> {
+        if name == "journal.wal" {
+            return Some(StorageObject::Journal);
+        }
+        let id = name
+            .strip_prefix("container-")?
+            .strip_suffix(".sc")?
+            .parse::<u64>()
+            .ok()?;
+        Some(StorageObject::Container(ContainerId::new(id)))
+    }
+}
+
+impl std::fmt::Display for StorageObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.file_name())
+    }
+}
+
+/// Which [`StorageBackend`] implementation a node uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
+pub enum BackendKind {
+    /// Volatile RAM objects, no disk accounting.
+    Memory,
+    /// Volatile RAM objects charged to the node's simulated [`DiskModel`] — the
+    /// default, and exactly the behaviour every figure reproduction ran against.
+    #[default]
+    SimDisk,
+    /// Real files under a per-node directory; survives a process restart.
+    File,
+}
+
+impl BackendKind {
+    /// Parses the config-file spelling (`memory` / `sim-disk` / `file`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "memory" => Some(BackendKind::Memory),
+            "sim-disk" | "simdisk" | "sim_disk" => Some(BackendKind::SimDisk),
+            "file" => Some(BackendKind::File),
+            _ => None,
+        }
+    }
+
+    /// The config-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Memory => "memory",
+            BackendKind::SimDisk => "sim-disk",
+            BackendKind::File => "file",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The durable medium beneath a node's journal and container store.
+///
+/// Semantics every implementation must honour:
+///
+/// * [`append`](Self::append) returns the offset the bytes landed at and, once
+///   the following [`fsync`](Self::fsync) returns, the bytes are durable — the
+///   journal calls the pair on every append, which is the system's
+///   acknowledgement point.
+/// * [`write_object`](Self::write_object) atomically creates-or-replaces a
+///   whole object: a reader never observes a half-written container.
+/// * [`replace_atomic`](Self::replace_atomic) is `write_object` with the
+///   explicit crash contract journal compaction needs: until the replacement is
+///   durably in place, the *old* object must remain fully readable
+///   (write-new / fsync / rename / fsync-dir on the file backend).
+/// * [`truncate`](Self::truncate) discards a torn tail after replay.
+/// * [`delete`](Self::delete) of an absent object is a no-op, not an error.
+///
+/// Volatile implementations return `false` from [`persistent`](Self::persistent);
+/// the container store then skips materializing per-container objects (the
+/// journal object alone is the simulated durable medium, exactly as before).
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Which implementation this is.
+    fn kind(&self) -> BackendKind;
+
+    /// True when objects survive the process (the file backend).
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    /// Appends `bytes` to `obj` (creating it if absent), returning the offset
+    /// the bytes were written at.
+    fn append(&self, obj: StorageObject, bytes: &[u8]) -> Result<u64>;
+
+    /// Atomically creates or replaces the whole object.
+    fn write_object(&self, obj: StorageObject, bytes: &[u8]) -> Result<()>;
+
+    /// Reads the whole object; an absent object reads as empty.
+    fn read_all(&self, obj: StorageObject) -> Result<Vec<u8>>;
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the object is absent or shorter than
+    /// `offset + len` — a durability bug, never a caller convenience.
+    fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Current length of the object in bytes, `None` when absent.
+    fn object_len(&self, obj: StorageObject) -> Result<Option<u64>>;
+
+    /// Truncates the object to `len` bytes (discarding a torn tail).
+    fn truncate(&self, obj: StorageObject, len: u64) -> Result<()>;
+
+    /// Replaces the object so that a crash at any point leaves either the old
+    /// or the new contents fully intact, never a mixture.
+    fn replace_atomic(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        self.write_object(obj, bytes)
+    }
+
+    /// Makes previous appends to the object durable.
+    fn fsync(&self, obj: StorageObject) -> Result<()>;
+
+    /// Deletes the object; absent objects delete successfully.
+    fn delete(&self, obj: StorageObject) -> Result<()>;
+
+    /// Every object currently present, sorted for deterministic iteration.
+    fn list(&self) -> Result<Vec<StorageObject>>;
+
+    /// The simulated disk this backend's operations are charged to, if any.
+    ///
+    /// Callers — not backends — perform the charging, so the accounting stays
+    /// at the exact call sites the deterministic scenario figures were baked
+    /// against.
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        None
+    }
+
+    /// Re-targets the simulated-disk accounting (crash recovery re-homes the
+    /// surviving medium onto the recovered node's fresh [`DiskModel`]).  A
+    /// no-op on backends without one.
+    fn attach_disk(&self, _disk: Arc<DiskModel>) {}
+}
+
+// ---- MemoryBackend ----
+
+/// Volatile objects in a RAM map; no disk accounting.
+#[derive(Default)]
+pub struct MemoryBackend {
+    objects: Mutex<HashMap<StorageObject, Vec<u8>>>,
+}
+
+impl std::fmt::Debug for MemoryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryBackend")
+            .field("objects", &self.objects.lock().len())
+            .finish()
+    }
+}
+
+impl MemoryBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        MemoryBackend::default()
+    }
+
+    /// Creates a backend whose journal object holds `bytes` — the crash image a
+    /// fault harness hands to recovery.
+    pub fn with_journal_bytes(bytes: Vec<u8>) -> Self {
+        let backend = MemoryBackend::new();
+        backend.objects.lock().insert(StorageObject::Journal, bytes);
+        backend
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Memory
+    }
+
+    fn append(&self, obj: StorageObject, bytes: &[u8]) -> Result<u64> {
+        let mut objects = self.objects.lock();
+        let buf = objects.entry(obj).or_default();
+        let offset = buf.len() as u64;
+        buf.extend_from_slice(bytes);
+        Ok(offset)
+    }
+
+    fn write_object(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        self.objects.lock().insert(obj, bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_all(&self, obj: StorageObject) -> Result<Vec<u8>> {
+        Ok(self.objects.lock().get(&obj).cloned().unwrap_or_default())
+    }
+
+    fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let objects = self.objects.lock();
+        let buf = objects
+            .get(&obj)
+            .ok_or_else(|| StorageError::Io(format!("{}: object absent", obj)))?;
+        let start = offset as usize;
+        let end = start.checked_add(len).filter(|&e| e <= buf.len());
+        match end {
+            Some(end) => Ok(buf[start..end].to_vec()),
+            None => Err(StorageError::Io(format!(
+                "{}: read of {} bytes at offset {} past object end {}",
+                obj,
+                len,
+                offset,
+                buf.len()
+            ))),
+        }
+    }
+
+    fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
+        Ok(self.objects.lock().get(&obj).map(|b| b.len() as u64))
+    }
+
+    fn truncate(&self, obj: StorageObject, len: u64) -> Result<()> {
+        if let Some(buf) = self.objects.lock().get_mut(&obj) {
+            buf.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn fsync(&self, _obj: StorageObject) -> Result<()> {
+        Ok(())
+    }
+
+    fn delete(&self, obj: StorageObject) -> Result<()> {
+        self.objects.lock().remove(&obj);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<StorageObject>> {
+        let mut out: Vec<StorageObject> = self.objects.lock().keys().copied().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+// ---- SimDiskBackend ----
+
+/// Volatile objects charged to a simulated [`DiskModel`] — the pre-existing
+/// "simulated durable medium", now expressed as a backend.
+///
+/// The model is rebindable because crash recovery builds a fresh node (and a
+/// fresh `DiskModel`) around the surviving medium: [`attach_disk`] re-homes the
+/// accounting so post-recovery operations are billed to the node that owns
+/// them.
+///
+/// [`attach_disk`]: StorageBackend::attach_disk
+pub struct SimDiskBackend {
+    inner: MemoryBackend,
+    disk: RwLock<Arc<DiskModel>>,
+}
+
+impl std::fmt::Debug for SimDiskBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDiskBackend")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl SimDiskBackend {
+    /// Creates an empty simulated-disk backend charged to `disk`.
+    pub fn new(disk: Arc<DiskModel>) -> Self {
+        SimDiskBackend {
+            inner: MemoryBackend::new(),
+            disk: RwLock::new(disk),
+        }
+    }
+}
+
+impl StorageBackend for SimDiskBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SimDisk
+    }
+
+    fn append(&self, obj: StorageObject, bytes: &[u8]) -> Result<u64> {
+        self.inner.append(obj, bytes)
+    }
+
+    fn write_object(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        self.inner.write_object(obj, bytes)
+    }
+
+    fn read_all(&self, obj: StorageObject) -> Result<Vec<u8>> {
+        self.inner.read_all(obj)
+    }
+
+    fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.inner.read_at(obj, offset, len)
+    }
+
+    fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
+        self.inner.object_len(obj)
+    }
+
+    fn truncate(&self, obj: StorageObject, len: u64) -> Result<()> {
+        self.inner.truncate(obj, len)
+    }
+
+    fn fsync(&self, obj: StorageObject) -> Result<()> {
+        self.inner.fsync(obj)
+    }
+
+    fn delete(&self, obj: StorageObject) -> Result<()> {
+        self.inner.delete(obj)
+    }
+
+    fn list(&self) -> Result<Vec<StorageObject>> {
+        self.inner.list()
+    }
+
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        Some(self.disk.read().clone())
+    }
+
+    fn attach_disk(&self, disk: Arc<DiskModel>) {
+        *self.disk.write() = disk;
+    }
+}
+
+// ---- FileBackend ----
+
+/// Real files in one directory per node.
+///
+/// Layout: `journal.wal` plus one `container-<id>.sc` per sealed container;
+/// `*.tmp` files are in-flight atomic replacements and are ignored (and swept)
+/// on open.  Journal appends go through one cached append handle; durability
+/// comes from the explicit [`fsync`](StorageBackend::fsync) the journal issues
+/// at every acknowledgement point.  Whole-object writes and replacements go
+/// write-temp / fsync / rename / fsync-dir, so a crash at any point leaves
+/// either the old or the new object intact — never a mixture.
+pub struct FileBackend {
+    root: PathBuf,
+    /// Cached append handle for the journal object (the hot path).  Invalidated
+    /// by truncate/replace/delete so the next append reopens at the new length.
+    journal: Mutex<Option<fs::File>>,
+}
+
+impl std::fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("root", &self.root)
+            .finish()
+    }
+}
+
+fn io_err(context: &str, err: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{}: {}", context, err))
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the backend rooted at `root`.
+    ///
+    /// Leftover `*.tmp` files from an interrupted atomic replacement are swept:
+    /// by construction they were never renamed into place, so they hold
+    /// unacknowledged data — exactly what a crash is allowed to lose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the directory cannot be created or
+    /// scanned.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&format!("create {}", root.display()), e))?;
+        for entry in
+            fs::read_dir(&root).map_err(|e| io_err(&format!("scan {}", root.display()), e))?
+        {
+            let entry = entry.map_err(|e| io_err("scan entry", e))?;
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(FileBackend {
+            root,
+            journal: Mutex::new(None),
+        })
+    }
+
+    /// The directory this backend stores its objects in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, obj: StorageObject) -> PathBuf {
+        self.root.join(obj.file_name())
+    }
+
+    /// Fsyncs the directory itself so renames/removals of entries are durable.
+    fn fsync_dir(&self) -> Result<()> {
+        let dir = fs::File::open(&self.root)
+            .map_err(|e| io_err(&format!("open dir {}", self.root.display()), e))?;
+        dir.sync_all()
+            .map_err(|e| io_err(&format!("fsync dir {}", self.root.display()), e))
+    }
+
+    /// Writes `bytes` to a fresh temp file, fsyncs it, renames it over the
+    /// object, and fsyncs the directory — the four-step atomic publish.
+    fn publish_atomic(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        let target = self.path(obj);
+        let tmp = self.root.join(format!("{}.tmp", obj.file_name()));
+        {
+            let mut file = fs::File::create(&tmp)
+                .map_err(|e| io_err(&format!("create {}", tmp.display()), e))?;
+            file.write_all(bytes)
+                .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+            file.sync_all()
+                .map_err(|e| io_err(&format!("fsync {}", tmp.display()), e))?;
+        }
+        fs::rename(&tmp, &target).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp.display(), target.display()),
+                e,
+            )
+        })?;
+        self.fsync_dir()
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::File
+    }
+
+    fn persistent(&self) -> bool {
+        true
+    }
+
+    fn append(&self, obj: StorageObject, bytes: &[u8]) -> Result<u64> {
+        let path = self.path(obj);
+        let open_append = || {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err(&format!("open {}", path.display()), e))
+        };
+        if obj == StorageObject::Journal {
+            let mut cached = self.journal.lock();
+            if cached.is_none() {
+                *cached = Some(open_append()?);
+            }
+            let file = cached.as_mut().expect("populated above");
+            let offset = file
+                .metadata()
+                .map_err(|e| io_err(&format!("stat {}", path.display()), e))?
+                .len();
+            file.write_all(bytes)
+                .map_err(|e| io_err(&format!("append {}", path.display()), e))?;
+            Ok(offset)
+        } else {
+            let mut file = open_append()?;
+            let offset = file
+                .metadata()
+                .map_err(|e| io_err(&format!("stat {}", path.display()), e))?
+                .len();
+            file.write_all(bytes)
+                .map_err(|e| io_err(&format!("append {}", path.display()), e))?;
+            file.sync_all()
+                .map_err(|e| io_err(&format!("fsync {}", path.display()), e))?;
+            Ok(offset)
+        }
+    }
+
+    fn write_object(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        if obj == StorageObject::Journal {
+            *self.journal.lock() = None;
+        }
+        self.publish_atomic(obj, bytes)
+    }
+
+    fn read_all(&self, obj: StorageObject) -> Result<Vec<u8>> {
+        match fs::read(self.path(obj)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(io_err(&format!("read {}", self.path(obj).display()), e)),
+        }
+    }
+
+    fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let path = self.path(obj);
+        let mut file =
+            fs::File::open(&path).map_err(|e| io_err(&format!("open {}", path.display()), e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(&format!("seek {}", path.display()), e))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf).map_err(|e| {
+            io_err(
+                &format!("read {} bytes at {} from {}", len, offset, path.display()),
+                e,
+            )
+        })?;
+        Ok(buf)
+    }
+
+    fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
+        match fs::metadata(self.path(obj)) {
+            Ok(meta) => Ok(Some(meta.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(&format!("stat {}", self.path(obj).display()), e)),
+        }
+    }
+
+    fn truncate(&self, obj: StorageObject, len: u64) -> Result<()> {
+        if obj == StorageObject::Journal {
+            // Drop the cached append handle so the next append reopens at the
+            // truncated length.
+            *self.journal.lock() = None;
+        }
+        let path = self.path(obj);
+        let file = match fs::OpenOptions::new().write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(io_err(&format!("open {}", path.display()), e)),
+        };
+        file.set_len(len)
+            .map_err(|e| io_err(&format!("truncate {}", path.display()), e))?;
+        file.sync_all()
+            .map_err(|e| io_err(&format!("fsync {}", path.display()), e))
+    }
+
+    fn replace_atomic(&self, obj: StorageObject, bytes: &[u8]) -> Result<()> {
+        self.write_object(obj, bytes)
+    }
+
+    fn fsync(&self, obj: StorageObject) -> Result<()> {
+        if obj == StorageObject::Journal {
+            if let Some(file) = self.journal.lock().as_ref() {
+                return file
+                    .sync_all()
+                    .map_err(|e| io_err(&format!("fsync {}", self.path(obj).display()), e));
+            }
+        }
+        match fs::File::open(self.path(obj)) {
+            Ok(file) => file
+                .sync_all()
+                .map_err(|e| io_err(&format!("fsync {}", self.path(obj).display()), e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&format!("open {}", self.path(obj).display()), e)),
+        }
+    }
+
+    fn delete(&self, obj: StorageObject) -> Result<()> {
+        if obj == StorageObject::Journal {
+            *self.journal.lock() = None;
+        }
+        match fs::remove_file(self.path(obj)) {
+            Ok(()) => self.fsync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&format!("delete {}", self.path(obj).display()), e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<StorageObject>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)
+            .map_err(|e| io_err(&format!("scan {}", self.root.display()), e))?
+        {
+            let entry = entry.map_err(|e| io_err("scan entry", e))?;
+            if let Some(obj) = StorageObject::from_file_name(&entry.file_name().to_string_lossy()) {
+                out.push(obj);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sigma-backend-{}-{}-{}",
+            tag,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn backends(tag: &str) -> Vec<(Box<dyn StorageBackend>, Option<PathBuf>)> {
+        let root = temp_root(tag);
+        vec![
+            (Box::new(MemoryBackend::new()), None),
+            (
+                Box::new(SimDiskBackend::new(Arc::new(DiskModel::new(
+                    crate::DiskParams::default(),
+                )))),
+                None,
+            ),
+            (Box::new(FileBackend::open(&root).unwrap()), Some(root)),
+        ]
+    }
+
+    #[test]
+    fn append_read_truncate_roundtrip_on_every_backend() {
+        for (backend, root) in backends("rt") {
+            let obj = StorageObject::Journal;
+            assert_eq!(backend.object_len(obj).unwrap(), None);
+            assert_eq!(backend.append(obj, b"hello ").unwrap(), 0);
+            assert_eq!(backend.append(obj, b"world").unwrap(), 6);
+            backend.fsync(obj).unwrap();
+            assert_eq!(backend.read_all(obj).unwrap(), b"hello world");
+            assert_eq!(backend.read_at(obj, 6, 5).unwrap(), b"world");
+            assert!(backend.read_at(obj, 6, 6).is_err(), "read past end errors");
+            backend.truncate(obj, 5).unwrap();
+            assert_eq!(backend.read_all(obj).unwrap(), b"hello");
+            assert_eq!(backend.append(obj, b"!").unwrap(), 5);
+            assert_eq!(backend.read_all(obj).unwrap(), b"hello!");
+            if let Some(root) = root {
+                let _ = fs::remove_dir_all(root);
+            }
+        }
+    }
+
+    #[test]
+    fn write_object_delete_and_list_on_every_backend() {
+        for (backend, root) in backends("list") {
+            let a = StorageObject::Container(ContainerId::new(3));
+            let b = StorageObject::Container(ContainerId::new(1));
+            backend.write_object(a, b"aaa").unwrap();
+            backend.write_object(b, b"b").unwrap();
+            backend.append(StorageObject::Journal, b"j").unwrap();
+            assert_eq!(
+                backend.list().unwrap(),
+                vec![StorageObject::Journal, b, a],
+                "sorted: journal before containers, containers by id"
+            );
+            assert_eq!(backend.object_len(a).unwrap(), Some(3));
+            backend.write_object(a, b"replaced").unwrap();
+            assert_eq!(backend.read_all(a).unwrap(), b"replaced");
+            backend.delete(a).unwrap();
+            backend.delete(a).unwrap(); // absent delete is a no-op
+            assert_eq!(backend.object_len(a).unwrap(), None);
+            assert_eq!(backend.list().unwrap(), vec![StorageObject::Journal, b]);
+            if let Some(root) = root {
+                let _ = fs::remove_dir_all(root);
+            }
+        }
+    }
+
+    #[test]
+    fn file_backend_survives_reopen() {
+        let root = temp_root("reopen");
+        {
+            let backend = FileBackend::open(&root).unwrap();
+            backend.append(StorageObject::Journal, b"frames").unwrap();
+            backend.fsync(StorageObject::Journal).unwrap();
+            backend
+                .write_object(StorageObject::Container(ContainerId::new(7)), b"payload")
+                .unwrap();
+        }
+        let backend = FileBackend::open(&root).unwrap();
+        assert_eq!(backend.read_all(StorageObject::Journal).unwrap(), b"frames");
+        assert_eq!(
+            backend
+                .read_all(StorageObject::Container(ContainerId::new(7)))
+                .unwrap(),
+            b"payload"
+        );
+        assert_eq!(backend.list().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn file_backend_sweeps_stale_tmp_files_and_keeps_old_object() {
+        // A crash between write-temp and rename leaves a *.tmp behind; reopening
+        // must ignore and sweep it, with the old object fully intact — the
+        // compaction ack-ordering contract.
+        let root = temp_root("tmp");
+        {
+            let backend = FileBackend::open(&root).unwrap();
+            backend
+                .replace_atomic(StorageObject::Journal, b"old snapshot")
+                .unwrap();
+        }
+        fs::write(root.join("journal.wal.tmp"), b"half-written new snapshot").unwrap();
+        let backend = FileBackend::open(&root).unwrap();
+        assert_eq!(
+            backend.read_all(StorageObject::Journal).unwrap(),
+            b"old snapshot"
+        );
+        assert!(
+            !root.join("journal.wal.tmp").exists(),
+            "stale temp file swept on open"
+        );
+        assert_eq!(backend.list().unwrap(), vec![StorageObject::Journal]);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sim_disk_backend_rebinds_its_disk() {
+        let first = Arc::new(DiskModel::new(crate::DiskParams::default()));
+        let backend = SimDiskBackend::new(first.clone());
+        assert!(Arc::ptr_eq(&backend.disk().unwrap(), &first));
+        let second = Arc::new(DiskModel::new(crate::DiskParams::default()));
+        backend.attach_disk(second.clone());
+        assert!(Arc::ptr_eq(&backend.disk().unwrap(), &second));
+        assert!(MemoryBackend::new().disk().is_none());
+    }
+
+    #[test]
+    fn object_names_round_trip() {
+        for obj in [
+            StorageObject::Journal,
+            StorageObject::Container(ContainerId::new(0)),
+            StorageObject::Container(ContainerId::new(123456)),
+        ] {
+            assert_eq!(StorageObject::from_file_name(&obj.file_name()), Some(obj));
+        }
+        assert_eq!(StorageObject::from_file_name("journal.wal.tmp"), None);
+        assert_eq!(StorageObject::from_file_name("container-x.sc"), None);
+        assert_eq!(StorageObject::from_file_name("README"), None);
+        assert_eq!(BackendKind::parse("file"), Some(BackendKind::File));
+        assert_eq!(BackendKind::parse("sim-disk"), Some(BackendKind::SimDisk));
+        assert_eq!(BackendKind::parse("memory"), Some(BackendKind::Memory));
+        assert_eq!(BackendKind::parse("floppy"), None);
+        assert_eq!(BackendKind::SimDisk.to_string(), "sim-disk");
+    }
+}

@@ -9,6 +9,20 @@
 use serde::{Deserialize, Serialize};
 use sigma_hashkit::Fingerprint;
 
+/// Magic prefix of a serialized container object ("SCNT").
+pub(crate) const CONTAINER_BLOB_MAGIC: u32 = 0x5343_4E54;
+
+/// Current container-object format version.
+pub(crate) const CONTAINER_BLOB_VERSION: u8 = 1;
+
+/// Byte offset of the data section inside a serialized container object:
+/// magic (4) + version (1) + id (8) + logical size (8) + data length (4).
+///
+/// A persistent backend serves chunk reads straight from the object file at
+/// `CONTAINER_BLOB_DATA_OFFSET + chunk offset`, so this constant is part of the
+/// on-disk format, not an implementation detail.
+pub const CONTAINER_BLOB_DATA_OFFSET: usize = 4 + 1 + 8 + 8 + 4;
+
 /// Identifier of a container within one deduplication node.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
@@ -164,6 +178,82 @@ impl Container {
             .records
             .iter()
             .any(|r| &r.fingerprint == fingerprint)
+    }
+
+    /// Serializes the container into the self-describing object format a
+    /// persistent backend stores one file of:
+    ///
+    /// ```text
+    /// magic u32 | version u8 | id u64 | logical_size u64 | data_len u32
+    /// data section (data_len bytes)            <- starts at CONTAINER_BLOB_DATA_OFFSET
+    /// record_count u32 | (fingerprint, offset u32, len u32) x record_count
+    /// ```
+    pub fn encode_blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            CONTAINER_BLOB_DATA_OFFSET + self.data.len() + 4 + self.meta.serialized_size(),
+        );
+        out.extend_from_slice(&CONTAINER_BLOB_MAGIC.to_le_bytes());
+        out.push(CONTAINER_BLOB_VERSION);
+        out.extend_from_slice(&self.id.as_u64().to_le_bytes());
+        out.extend_from_slice(&(self.logical_size as u64).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        debug_assert_eq!(out.len(), CONTAINER_BLOB_DATA_OFFSET);
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&(self.meta.records.len() as u32).to_le_bytes());
+        for record in &self.meta.records {
+            out.extend_from_slice(record.fingerprint.as_bytes());
+            out.extend_from_slice(&record.offset.to_le_bytes());
+            out.extend_from_slice(&record.len.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a container object produced by [`encode_blob`](Self::encode_blob).
+    ///
+    /// Returns `None` on any framing violation: bad magic or version, truncated
+    /// sections, or trailing garbage.
+    pub fn decode_blob(bytes: &[u8]) -> Option<Container> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if bytes.len() < n {
+                return None;
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Some(head)
+        }
+        let mut r = bytes;
+        let magic = u32::from_le_bytes(take(&mut r, 4)?.try_into().ok()?);
+        if magic != CONTAINER_BLOB_MAGIC {
+            return None;
+        }
+        if *take(&mut r, 1)?.first()? != CONTAINER_BLOB_VERSION {
+            return None;
+        }
+        let id = u64::from_le_bytes(take(&mut r, 8)?.try_into().ok()?);
+        let logical_size = u64::from_le_bytes(take(&mut r, 8)?.try_into().ok()?) as usize;
+        let data_len = u32::from_le_bytes(take(&mut r, 4)?.try_into().ok()?) as usize;
+        let data = take(&mut r, data_len)?.to_vec();
+        let record_count = u32::from_le_bytes(take(&mut r, 4)?.try_into().ok()?) as usize;
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            let fingerprint = Fingerprint::new(take(&mut r, Fingerprint::LEN)?.try_into().ok()?);
+            let offset = u32::from_le_bytes(take(&mut r, 4)?.try_into().ok()?);
+            let len = u32::from_le_bytes(take(&mut r, 4)?.try_into().ok()?);
+            records.push(ChunkRecord {
+                fingerprint,
+                offset,
+                len,
+            });
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        Some(Container {
+            id: ContainerId::new(id),
+            meta: ContainerMeta { records },
+            data,
+            logical_size,
+        })
     }
 }
 
@@ -334,6 +424,52 @@ mod tests {
         assert_eq!(
             b.seal().meta().serialized_size(),
             2 * (Fingerprint::LEN + 8)
+        );
+    }
+
+    #[test]
+    fn blob_roundtrip_including_synthetic_chunks() {
+        let mut b = ContainerBuilder::new(ContainerId::new(11), 4096);
+        assert!(b.try_append(Sha1::fingerprint(b"real"), b"real payload"));
+        assert!(b.try_append_synthetic(Sha1::fingerprint(b"ghost"), 64));
+        assert!(b.try_append(Sha1::fingerprint(b"more"), b"more bytes"));
+        let sealed = b.seal();
+        let blob = sealed.encode_blob();
+        assert_eq!(
+            &blob[CONTAINER_BLOB_DATA_OFFSET..CONTAINER_BLOB_DATA_OFFSET + sealed.data().len()],
+            sealed.data(),
+            "data section sits at the documented offset"
+        );
+        let decoded = Container::decode_blob(&blob).expect("roundtrip");
+        assert_eq!(decoded, sealed);
+    }
+
+    #[test]
+    fn blob_decode_rejects_corruption() {
+        let sealed = {
+            let mut b = ContainerBuilder::new(ContainerId::new(5), 128);
+            b.try_append(Sha1::fingerprint(b"x"), b"xyz");
+            b.seal()
+        };
+        let blob = sealed.encode_blob();
+        assert!(
+            Container::decode_blob(&blob[..blob.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(
+            Container::decode_blob(&trailing).is_none(),
+            "trailing garbage"
+        );
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(Container::decode_blob(&bad_magic).is_none(), "bad magic");
+        let mut bad_version = blob;
+        bad_version[4] = 99;
+        assert!(
+            Container::decode_blob(&bad_version).is_none(),
+            "bad version"
         );
     }
 

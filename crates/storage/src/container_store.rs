@@ -18,7 +18,8 @@
 
 use crate::{
     ChunkLocation, Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Journal,
-    JournalRecord, Result, StorageError,
+    JournalRecord, MemoryBackend, Result, SimDiskBackend, StorageBackend, StorageError,
+    StorageObject, CONTAINER_BLOB_DATA_OFFSET,
 };
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -122,7 +123,15 @@ struct OpenSlot {
 /// ```
 pub struct ContainerStore {
     capacity: usize,
-    disk: Option<Arc<DiskModel>>,
+    /// The durable medium.  Volatile backends ([`MemoryBackend`],
+    /// [`SimDiskBackend`]) carry no container objects — the journal flowing
+    /// through the same simulated medium already embeds every sealed container,
+    /// so mirroring them would only double RAM.  A persistent backend
+    /// ([`persistent`](StorageBackend::persistent)) gets one object per sealed
+    /// container, written at the same journal-first ack points, and the restore
+    /// path reads payload bytes back *from the object* so the files are
+    /// load-bearing, not decorative.
+    backend: Arc<dyn StorageBackend>,
     /// Write-ahead journal, when the node is durable: container seals, adoptions
     /// and their chunk-index finalizations are appended *before* they take effect
     /// in memory, so a crash can lose at most the open (unacknowledged) tail.
@@ -180,7 +189,7 @@ impl ContainerStore {
         assert!(capacity > 0, "container capacity must be non-zero");
         ContainerStore {
             capacity,
-            disk: None,
+            backend: Arc::new(MemoryBackend::new()),
             journal: None,
             next_id: AtomicU64::new(0),
             open: RwLock::new(HashMap::new()),
@@ -204,10 +213,27 @@ impl ContainerStore {
     }
 
     /// Attaches a disk model: sealed containers are charged as sequential writes,
-    /// metadata and data reads as sequential reads.
-    pub fn with_disk(mut self, disk: Arc<DiskModel>) -> Self {
-        self.disk = Some(disk);
+    /// metadata and data reads as sequential reads.  (Equivalent to
+    /// [`with_backend`](Self::with_backend) with a [`SimDiskBackend`].)
+    pub fn with_disk(self, disk: Arc<DiskModel>) -> Self {
+        self.with_backend(Arc::new(SimDiskBackend::new(disk)))
+    }
+
+    /// Attaches a storage backend.  Disk-model charging follows the backend's
+    /// own [`disk`](StorageBackend::disk); persistent backends additionally get
+    /// one object per sealed container.
+    pub fn with_backend(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// The backend this store's sealed containers live on.
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.backend.clone()
+    }
+
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        self.backend.disk()
     }
 
     /// Attaches a write-ahead journal: every seal and adoption appends its records
@@ -386,12 +412,24 @@ impl ContainerStore {
             }
             journal.append_batch(&records)?;
         }
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             let total: u64 = containers
                 .iter()
                 .map(|c| (c.data_size() + c.meta().serialized_size()) as u64)
                 .sum();
             disk.record_sequential_transfer(total);
+        }
+        // Persistent backends materialize each sealed container as an object,
+        // after the journal records (write-ahead) and before the seal becomes
+        // visible in memory — an error leaves the node recoverable from the
+        // journal rather than serving containers the medium never got.
+        if self.backend.persistent() {
+            for container in &containers {
+                self.backend.write_object(
+                    StorageObject::Container(container.id()),
+                    &container.encode_blob(),
+                )?;
+            }
         }
         let mut sealed = self.sealed.write();
         for container in containers {
@@ -472,7 +510,7 @@ impl ContainerStore {
                     .ok_or(StorageError::ContainerNotFound(*container))?
             }
         };
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             disk.record_sequential_transfer(meta.serialized_size() as u64);
         }
         Ok(meta)
@@ -490,13 +528,46 @@ impl ContainerStore {
         // are in memory on a real server and readable immediately).  As in
         // read_metadata, the sealed guard is dropped before clone_open so the
         // slot → sealed lock order of the store path is never inverted.
+        // What the sealed map knows about the chunk: on a volatile backend the
+        // payload is cloned under the guard; on a persistent backend only the
+        // record's extent is taken, and the bytes are read back *off the object
+        // file* after the guard drops — the file is the restore medium, so a
+        // byte the medium lost is a byte the restore visibly loses.
+        enum SealedHit {
+            Bytes(Vec<u8>),
+            Extent(u32, u32),
+        }
         let sealed = {
             let map = self.sealed.read();
-            map.get(container)
-                .map(|c| c.chunk_data(fp).map(|d| d.to_vec()))
+            map.get(container).map(|c| {
+                c.meta()
+                    .records
+                    .iter()
+                    .find(|r| &r.fingerprint == fp)
+                    // Synthetic (trace-driven) chunks have no payload: their
+                    // records point past the real data section.
+                    .filter(|r| (r.offset + r.len) as usize <= c.data().len())
+                    .map(|r| {
+                        if self.backend.persistent() {
+                            SealedHit::Extent(r.offset, r.len)
+                        } else {
+                            SealedHit::Bytes(
+                                c.data()[r.offset as usize..(r.offset + r.len) as usize].to_vec(),
+                            )
+                        }
+                    })
+            })
         };
         let data = match sealed {
-            Some(found) => found,
+            Some(found) => match found {
+                Some(SealedHit::Bytes(bytes)) => Some(bytes),
+                Some(SealedHit::Extent(offset, len)) => Some(self.backend.read_at(
+                    StorageObject::Container(*container),
+                    (CONTAINER_BLOB_DATA_OFFSET + offset as usize) as u64,
+                    len as usize,
+                )?),
+                None => None,
+            },
             None => {
                 let open = self
                     .clone_open(container)
@@ -508,7 +579,7 @@ impl ContainerStore {
             container: *container,
             fingerprint: fp.to_string(),
         })?;
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             disk.record_sequential_transfer(data.len() as u64);
         }
         Ok(data)
@@ -535,7 +606,7 @@ impl ContainerStore {
     /// container stays in the store until [`remove_sealed`](Self::remove_sealed).
     pub fn export_sealed(&self, container: &ContainerId) -> Option<Container> {
         let cloned = self.sealed.read().get(container).cloned()?;
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             disk.record_sequential_transfer(
                 (cloned.data_size() + cloned.meta().serialized_size()) as u64,
             );
@@ -596,10 +667,14 @@ impl ContainerStore {
                 },
             ])?;
         }
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             disk.record_sequential_transfer(
                 (container.data_size() + container.meta().serialized_size()) as u64,
             );
+        }
+        if self.backend.persistent() {
+            self.backend
+                .write_object(StorageObject::Container(new_id), &container.encode_blob())?;
         }
         self.sealed_containers.fetch_add(1, Ordering::Relaxed);
         self.stored_bytes
@@ -701,6 +776,12 @@ impl ContainerStore {
     /// subtracting its bytes and chunks from this store's accounting.
     pub fn remove_sealed(&self, container: &ContainerId) -> Option<Container> {
         let removed = self.sealed.write().remove(container)?;
+        if self.backend.persistent() {
+            // Best-effort: the journal record preceding the removal is the
+            // durable authority; a leftover object is swept by the next
+            // `sync_backend_objects`.
+            let _ = self.backend.delete(StorageObject::Container(*container));
+        }
         self.liveness.write().remove(container);
         self.sealed_containers.fetch_sub(1, Ordering::Relaxed);
         self.stored_bytes
@@ -846,7 +927,7 @@ impl ContainerStore {
                 rfps: rfps.to_vec(),
             })?;
         }
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = self.disk() {
             // Read the victim off disk, write the replacement back.
             disk.record_sequential_transfer(
                 (old.data_size() + old.meta().serialized_size()) as u64,
@@ -854,6 +935,13 @@ impl ContainerStore {
             disk.record_sequential_transfer(
                 (replacement.data_size() + replacement.meta().serialized_size()) as u64,
             );
+        }
+        if self.backend.persistent() {
+            // Replacement object lands before the victim object goes; the
+            // GcCompact journal record is the atomic authority over the swap.
+            self.backend
+                .write_object(StorageObject::Container(new_id), &replacement.encode_blob())?;
+            let _ = self.backend.delete(StorageObject::Container(*victim));
         }
         sealed.remove(victim);
         sealed.insert(new_id, replacement);
@@ -914,6 +1002,77 @@ impl ContainerStore {
             })
             .sum();
         self.stored_bytes.load(Ordering::Relaxed) + open
+    }
+
+    /// Physical bytes *as the backend sees them*: on a persistent backend, the
+    /// sum of the logical data sizes decoded from every container object
+    /// actually on the medium; on volatile backends (which keep no container
+    /// objects) the in-memory figure.  [`verify_consistency`] on the node
+    /// cross-checks this against the counter-derived figure so the file backend
+    /// cannot silently drift from the in-memory directory.
+    ///
+    /// [`verify_consistency`]: ../../sigma_core/struct.DedupNode.html#method.verify_consistency
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when an object cannot be read or decoded.
+    pub fn backend_physical_bytes(&self) -> Result<u64> {
+        if !self.backend.persistent() {
+            return Ok(self.stored_bytes.load(Ordering::Relaxed));
+        }
+        let mut total = 0u64;
+        for obj in self.backend.list()? {
+            if let StorageObject::Container(id) = obj {
+                let blob = self.backend.read_all(obj)?;
+                let container = Container::decode_blob(&blob)
+                    .ok_or_else(|| StorageError::Io(format!("{}: undecodable object", id)))?;
+                total += container.data_size() as u64;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Reconciles the persistent backend's container objects with the sealed
+    /// directory (recovery runs this after replay): every sealed container's
+    /// object is read back and byte-compared against the replayed state, and
+    /// every divergence is repaired *from the journal-derived truth* — a
+    /// missing or mismatched object is rewritten, an orphan object (its seal
+    /// record was torn away with the unacknowledged tail) is deleted.
+    ///
+    /// Returns `(verified, repaired)`: objects that matched exactly, and
+    /// objects rewritten or deleted.  A no-op `(0, 0)` on volatile backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the backend cannot be read or written.
+    pub fn sync_backend_objects(&self) -> Result<(u64, u64)> {
+        if !self.backend.persistent() {
+            return Ok((0, 0));
+        }
+        let sealed: Vec<Container> = self.sealed.read().values().cloned().collect();
+        let mut verified = 0u64;
+        let mut repaired = 0u64;
+        let mut expected: std::collections::HashSet<ContainerId> = std::collections::HashSet::new();
+        for container in &sealed {
+            expected.insert(container.id());
+            let obj = StorageObject::Container(container.id());
+            let on_medium = self.backend.read_all(obj)?;
+            if Container::decode_blob(&on_medium).as_ref() == Some(container) {
+                verified += 1;
+            } else {
+                self.backend.write_object(obj, &container.encode_blob())?;
+                repaired += 1;
+            }
+        }
+        for obj in self.backend.list()? {
+            if let StorageObject::Container(id) = obj {
+                if !expected.contains(&id) {
+                    self.backend.delete(obj)?;
+                    repaired += 1;
+                }
+            }
+        }
+        Ok((verified, repaired))
     }
 
     /// Number of sealed containers.

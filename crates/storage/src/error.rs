@@ -32,6 +32,10 @@ pub enum StorageError {
     /// Disk parameters were rejected at validation time (the message names the
     /// offending field and value).
     InvalidDiskParams(String),
+    /// A storage backend operation failed (the message carries the operation,
+    /// the object and the underlying OS error).  Only the file backend produces
+    /// these at runtime; the volatile backends are infallible.
+    Io(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for StorageError {
             StorageError::InvalidDiskParams(msg) => {
                 write!(f, "invalid disk parameters: {}", msg)
             }
+            StorageError::Io(msg) => write!(f, "storage backend i/o error: {}", msg),
         }
     }
 }

@@ -39,7 +39,8 @@
 //! adopt-then-tombstone boundary inside a rebalance step.
 
 use crate::{
-    ChunkLocation, ChunkRecord, Container, ContainerId, ContainerMeta, DiskModel, StorageError,
+    ChunkLocation, ChunkRecord, Container, ContainerId, ContainerMeta, DiskModel, MemoryBackend,
+    SimDiskBackend, StorageBackend, StorageError, StorageObject,
 };
 use parking_lot::Mutex;
 use sigma_hashkit::{fnv1a_64, Fingerprint};
@@ -213,7 +214,9 @@ struct ArmedCrash {
 
 #[derive(Debug, Default)]
 struct JournalState {
-    bytes: Vec<u8>,
+    /// Length in bytes of the journal object on the backend (including any torn
+    /// tail).  The bytes themselves live on the [`StorageBackend`].
+    len: usize,
     /// Sequence number the next append will receive.
     next_seq: u64,
     /// End offset (and sequence) of every complete frame, in order.
@@ -242,6 +245,10 @@ struct JournalState {
 /// ```
 pub struct Journal {
     state: Mutex<JournalState>,
+    /// The durable medium the frames live on.  Appends and the fsync at each
+    /// acknowledgement point go through it; on volatile backends the fsync is a
+    /// no-op and on the file backend it is a real `fsync(2)`.
+    backend: Arc<dyn StorageBackend>,
     /// Rebindable: recovery builds a fresh node (and fresh [`DiskModel`]) and
     /// re-targets the surviving journal at it via [`attach_disk`](Journal::attach_disk),
     /// so post-recovery appends keep being charged to the node that owns them.
@@ -252,10 +259,11 @@ impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.state.lock();
         f.debug_struct("Journal")
-            .field("bytes", &state.bytes.len())
+            .field("bytes", &state.len)
             .field("frames", &state.boundaries.len())
             .field("next_seq", &state.next_seq)
             .field("crashed", &state.crashed)
+            .field("backend", &self.backend.kind())
             .finish()
     }
 }
@@ -267,20 +275,77 @@ impl Default for Journal {
 }
 
 impl Journal {
-    /// Creates an empty journal without disk accounting.
+    /// Creates an empty journal on a volatile in-memory backend, without disk
+    /// accounting.
     pub fn new() -> Self {
         Journal {
             state: Mutex::new(JournalState::default()),
+            backend: Arc::new(MemoryBackend::new()),
             disk: parking_lot::RwLock::new(None),
         }
     }
 
-    /// Creates an empty journal whose appends and replays are charged to `disk`.
+    /// Creates an empty journal on a simulated-disk backend whose appends and
+    /// replays are charged to `disk`.
     pub fn with_disk(disk: Arc<DiskModel>) -> Self {
         Journal {
             state: Mutex::new(JournalState::default()),
+            backend: Arc::new(SimDiskBackend::new(disk.clone())),
             disk: parking_lot::RwLock::new(Some(disk)),
         }
+    }
+
+    /// Creates a *fresh* journal on `backend`, truncating any journal object a
+    /// previous process left there.  Disk accounting follows the backend's own
+    /// [`DiskModel`](StorageBackend::disk), if it has one.
+    ///
+    /// Use [`open`](Self::open) instead to adopt an existing journal object —
+    /// this constructor is for brand-new nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the backend cannot initialize the
+    /// journal object.
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Result<Self, StorageError> {
+        backend.write_object(StorageObject::Journal, &[])?;
+        let disk = backend.disk();
+        Ok(Journal {
+            state: Mutex::new(JournalState::default()),
+            backend,
+            disk: parking_lot::RwLock::new(disk),
+        })
+    }
+
+    /// Opens the journal object already present on `backend` — the path a node
+    /// restart takes to adopt the log a previous process left behind.  An absent
+    /// object opens as an empty journal.  The log is adopted verbatim, torn tail
+    /// and all; run [`recover_truncating`](Self::recover_truncating) (which
+    /// `DedupNode::recover` does) before appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the backend cannot read the object.
+    pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self, StorageError> {
+        let bytes = backend.read_all(StorageObject::Journal)?;
+        let boundaries = scan_frames(&bytes);
+        let disk = backend.disk();
+        Ok(Journal {
+            state: Mutex::new(JournalState {
+                len: bytes.len(),
+                next_seq: boundaries.last().map(|&(seq, _)| seq + 1).unwrap_or(0),
+                boundaries,
+                crashed: false,
+                armed: None,
+            }),
+            backend,
+            disk: parking_lot::RwLock::new(disk),
+        })
+    }
+
+    /// The backend this journal's frames live on — shared with the container
+    /// store when the node persists, so both planes survive (or vanish) together.
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.backend.clone()
     }
 
     /// Re-targets disk accounting at `disk`.
@@ -290,21 +355,26 @@ impl Journal {
     /// post-recovery append would be billed to the discarded node's model and
     /// vanish from the recovered node's statistics.
     pub fn attach_disk(&self, disk: Arc<DiskModel>) {
+        self.backend.attach_disk(disk.clone());
         *self.disk.write() = Some(disk);
     }
 
     /// Reconstructs a journal from previously captured [`bytes`](Self::bytes) —
-    /// the crash image a fault harness hands to recovery.
+    /// the crash image a fault harness hands to recovery.  The image is seeded
+    /// into a fresh in-memory backend.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        let journal = Journal::new();
-        {
-            let mut state = journal.state.lock();
-            let boundaries = scan_frames(&bytes);
-            state.next_seq = boundaries.last().map(|&(seq, _)| seq + 1).unwrap_or(0);
-            state.boundaries = boundaries;
-            state.bytes = bytes;
+        let boundaries = scan_frames(&bytes);
+        Journal {
+            state: Mutex::new(JournalState {
+                len: bytes.len(),
+                next_seq: boundaries.last().map(|&(seq, _)| seq + 1).unwrap_or(0),
+                boundaries,
+                crashed: false,
+                armed: None,
+            }),
+            backend: Arc::new(MemoryBackend::with_journal_bytes(bytes)),
+            disk: parking_lot::RwLock::new(None),
         }
-        journal
     }
 
     /// Appends one record, returning its sequence number.
@@ -329,7 +399,15 @@ impl Journal {
                     // cutting inside the payload (past the header) exercises the
                     // checksum path rather than the short-header path alone.
                     let torn = (frame.len() / 2).max(1);
-                    state.bytes.extend_from_slice(&frame[..torn]);
+                    // The node is dead after this point either way; a backend
+                    // error merely makes the simulated power cut tear earlier.
+                    if self
+                        .backend
+                        .append(StorageObject::Journal, &frame[..torn])
+                        .is_ok()
+                    {
+                        state.len += torn;
+                    }
                 }
                 state.crashed = true;
                 state.armed = None;
@@ -340,8 +418,19 @@ impl Journal {
         if let Some(disk) = self.disk.read().as_ref() {
             disk.record_sequential_transfer(frame.len() as u64);
         }
-        state.bytes.extend_from_slice(&frame);
-        let end = state.bytes.len();
+        // Append + fsync is the acknowledgement point: a real I/O failure here
+        // means durability is gone, so the journal declares itself crashed just
+        // as it does for an injected fault.
+        if let Err(e) = self
+            .backend
+            .append(StorageObject::Journal, &frame)
+            .and_then(|_| self.backend.fsync(StorageObject::Journal))
+        {
+            state.crashed = true;
+            return Err(e);
+        }
+        state.len += frame.len();
+        let end = state.len;
         state.boundaries.push((seq, end));
         state.next_seq = seq + 1;
         Ok(seq)
@@ -369,7 +458,7 @@ impl Journal {
             return Err(StorageError::Crashed);
         }
         let first_seq = state.next_seq;
-        let base = state.bytes.len();
+        let base = state.len;
         // Frames accumulate in a scratch buffer so the durable medium receives
         // the whole group in a single extend, mirroring the single transfer
         // charged to the disk model.
@@ -393,10 +482,13 @@ impl Journal {
                     if let Some(disk) = self.disk.read().as_ref() {
                         disk.record_sequential_transfer(buf.len() as u64);
                     }
-                }
-                state.bytes.extend_from_slice(&buf);
-                for (s, end) in frames {
-                    state.boundaries.push((s, base + end));
+                    if self.backend.append(StorageObject::Journal, &buf).is_ok() {
+                        let _ = self.backend.fsync(StorageObject::Journal);
+                        state.len += buf.len();
+                        for (s, end) in frames {
+                            state.boundaries.push((s, base + end));
+                        }
+                    }
                 }
                 state.next_seq = seq;
                 return Err(StorageError::Crashed);
@@ -409,8 +501,16 @@ impl Journal {
             if let Some(disk) = self.disk.read().as_ref() {
                 disk.record_sequential_transfer(buf.len() as u64);
             }
+            if let Err(e) = self
+                .backend
+                .append(StorageObject::Journal, &buf)
+                .and_then(|_| self.backend.fsync(StorageObject::Journal))
+            {
+                state.crashed = true;
+                return Err(e);
+            }
+            state.len += buf.len();
         }
-        state.bytes.extend_from_slice(&buf);
         for (s, end) in frames {
             state.boundaries.push((s, base + end));
         }
@@ -447,7 +547,7 @@ impl Journal {
 
     /// Total journal size in bytes (including any torn tail).
     pub fn len_bytes(&self) -> usize {
-        self.state.lock().bytes.len()
+        self.state.lock().len
     }
 
     /// Byte offset just past each complete frame, in order — the crash points a
@@ -462,8 +562,20 @@ impl Journal {
     }
 
     /// A copy of the raw journal bytes (the durable medium's current contents).
+    ///
+    /// Uncharged: the fault harness uses this to capture crash images without
+    /// perturbing the disk statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot read the journal object (file backend only,
+    /// and only on a real OS-level failure).
     pub fn bytes(&self) -> Vec<u8> {
-        self.state.lock().bytes.clone()
+        // Hold the state lock so the read is atomic with respect to appends.
+        let _state = self.state.lock();
+        self.backend
+            .read_all(StorageObject::Journal)
+            .expect("journal backend read failed")
     }
 
     /// Parses a journal byte stream into records.
@@ -493,11 +605,23 @@ impl Journal {
     /// recovered node's write-ahead log.
     ///
     /// Charged to the disk model as one sequential read of the replayed bytes.
+    /// # Panics
+    ///
+    /// Panics if the backend cannot read or truncate the journal object: a
+    /// recovery whose truncation did not stick would re-append after a torn
+    /// tail and corrupt the log, so there is no safe way to continue.
     pub fn recover_truncating(&self) -> (Vec<JournalRecord>, ReplaySummary) {
         let mut state = self.state.lock();
-        let (records, summary) = Journal::replay(&state.bytes);
-        state.bytes.truncate(summary.bytes_replayed as usize);
-        state.boundaries = scan_frames(&state.bytes);
+        let bytes = self
+            .backend
+            .read_all(StorageObject::Journal)
+            .expect("journal backend read failed");
+        let (records, summary) = Journal::replay(&bytes);
+        self.backend
+            .truncate(StorageObject::Journal, summary.bytes_replayed)
+            .expect("journal backend truncate failed");
+        state.len = summary.bytes_replayed as usize;
+        state.boundaries = scan_frames(&bytes[..state.len]);
         state.next_seq = state
             .boundaries
             .last()
@@ -521,7 +645,10 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Crashed`] if the journal has crashed.
+    /// Returns [`StorageError::Crashed`] if the journal has crashed, or
+    /// [`StorageError::Io`] if the backend could not durably publish the
+    /// replacement log — in which case the *old* log is untouched and the
+    /// journal remains fully usable.
     pub fn compact(&self, snapshot: NodeSnapshot) -> Result<(), StorageError> {
         let mut state = self.state.lock();
         if state.crashed {
@@ -531,8 +658,8 @@ impl Journal {
         // Compaction consumes a sequence number like any append, so an armed
         // crash landing on it must fire here too — otherwise a fault plan
         // sampling this boundary would silently inject nothing.  Compaction is
-        // modelled as atomic (write-new-log-then-swap), so even a torn crash
-        // leaves the *old* log intact rather than a torn snapshot frame.
+        // atomic (write-new-log-then-swap via `replace_atomic`), so even a torn
+        // crash leaves the *old* log intact rather than a torn snapshot frame.
         if let Some(armed) = &state.armed {
             if armed.at_seq == seq {
                 state.crashed = true;
@@ -544,10 +671,17 @@ impl Journal {
         if let Some(disk) = self.disk.read().as_ref() {
             disk.record_sequential_transfer(frame.len() as u64);
         }
-        state.bytes.clear();
-        state.bytes.extend_from_slice(&frame);
+        // Ack ordering: the snapshot must be durably in place *before* the old
+        // log is considered replaced.  `replace_atomic` writes the new log to
+        // the side, fsyncs it, renames it over the old one and fsyncs the
+        // directory — every acked record is recoverable from one log or the
+        // other at every intermediate crash point.  Only after it returns does
+        // the in-memory view switch over.
+        self.backend
+            .replace_atomic(StorageObject::Journal, &frame)?;
+        state.len = frame.len();
         state.boundaries.clear();
-        let end = state.bytes.len();
+        let end = state.len;
         state.boundaries.push((seq, end));
         state.next_seq = seq + 1;
         Ok(())

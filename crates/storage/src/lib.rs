@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod chunk_index;
 mod container;
 mod container_store;
@@ -30,8 +31,14 @@ mod fingerprint_cache;
 mod journal;
 mod similarity_index;
 
+pub use backend::{
+    BackendKind, FileBackend, MemoryBackend, SimDiskBackend, StorageBackend, StorageObject,
+};
 pub use chunk_index::{ChunkIndex, ChunkIndexStats, ChunkLocation, ClaimOutcome};
-pub use container::{ChunkRecord, Container, ContainerBuilder, ContainerId, ContainerMeta};
+pub use container::{
+    ChunkRecord, Container, ContainerBuilder, ContainerId, ContainerMeta,
+    CONTAINER_BLOB_DATA_OFFSET,
+};
 pub use container_store::{
     CompactionOutcome, ContainerLiveness, ContainerStore, ContainerStoreStats, StoredChunk,
     StreamId, DEFAULT_CONTAINER_CAPACITY,

@@ -59,16 +59,19 @@ pub use sigma_baselines::{
 pub use sigma_core::ServiceCode;
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
-    GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap, RebalanceReport, Rebalancer,
-    RecoveryReport, SigmaConfig, SigmaError, SimilarityRouter, StreamBatch, StreamPayload,
-    SuperChunk, SuperChunkBuilder,
+    FileRecipe, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap, RebalanceReport,
+    Rebalancer, RecipeEntry, RecoveryReport, SigmaConfig, SigmaError, SimilarityRouter,
+    StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
 pub use sigma_service::{
     BackupService, Operation, RequestEnvelope, ResponseEnvelope, ServiceBuilder, ServiceConfig,
     ServiceStack, TcpClient, TcpService,
 };
-pub use sigma_storage::{CrashMode, DiskParams, Journal, JournalRecord, StorageError};
+pub use sigma_storage::{
+    BackendKind, CrashMode, DiskParams, FileBackend, Journal, JournalRecord, MemoryBackend,
+    SimDiskBackend, StorageBackend, StorageError,
+};
 
 /// One-line import for programs and tests: every commonly-used type from the
 /// façade plus the helper modules (`payload`, `presets`, `runner`,
@@ -88,9 +91,9 @@ pub mod prelude {
     // Cluster, client and configuration.
     pub use sigma_core::{
         BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director,
-        FileBackupReport, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap,
-        RebalanceReport, Rebalancer, RecoveryReport, ServiceCode, SigmaConfig, SigmaError,
-        SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
+        FileBackupReport, FileRecipe, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap,
+        RebalanceReport, Rebalancer, RecipeEntry, RecoveryReport, ServiceCode, SigmaConfig,
+        SigmaError, SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
     };
 
     // Hashes and chunking.
@@ -104,7 +107,8 @@ pub mod prelude {
 
     // Durable storage.
     pub use sigma_storage::{
-        ContainerId, CrashMode, DiskParams, Journal, JournalRecord, StorageError,
+        BackendKind, ContainerId, CrashMode, DiskParams, FileBackend, Journal, JournalRecord,
+        MemoryBackend, SimDiskBackend, StorageBackend, StorageError,
     };
 
     // Reporting and workload generation.
