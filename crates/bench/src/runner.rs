@@ -1,6 +1,7 @@
-//! The `sigma-bench` measurement suites: one in-process pass over the four
-//! headline workloads (ingest, rebalance, recovery replay, GC reclaim) that
-//! produces a [`BenchReport`] for the persisted performance trajectory.
+//! The `sigma-bench` measurement suites: one in-process pass over the
+//! headline workloads (ingest, restore, rebalance, recovery replay, GC
+//! reclaim) that produces a [`BenchReport`] for the persisted performance
+//! trajectory.
 //!
 //! Unlike the criterion targets (which explore parameter spaces), the runner
 //! measures a fixed configuration per metric, takes the best of a few
@@ -53,6 +54,11 @@ struct Sizes {
     threads: &'static [usize],
     /// Trace replay scale for the linux-like dataset.
     trace_scale: Scale,
+    /// Restore: client streams and logical bytes per stream version (each
+    /// stream backs up two overlapping versions, so restores revisit shared
+    /// containers).
+    restore_streams: u64,
+    restore_stream_bytes: usize,
     /// Rebalance: streams and bytes per stream pre-loaded before the join.
     rebalance_streams: u64,
     rebalance_stream_bytes: usize,
@@ -82,6 +88,8 @@ impl Sizes {
             ingest_stream_bytes: 2 << 20,
             threads: &[1, 2, 4, 8],
             trace_scale: Scale::Tiny,
+            restore_streams: 4,
+            restore_stream_bytes: 1 << 20,
             rebalance_streams: 4,
             rebalance_stream_bytes: 1 << 20,
             replay_payload_bytes: 8 << 20,
@@ -105,6 +113,8 @@ impl Sizes {
             ingest_stream_bytes: 256 << 10,
             threads: &[1, 4],
             trace_scale: Scale::Tiny,
+            restore_streams: 2,
+            restore_stream_bytes: 256 << 10,
             rebalance_streams: 2,
             rebalance_stream_bytes: 256 << 10,
             replay_payload_bytes: 2 << 20,
@@ -158,11 +168,12 @@ pub fn calibrate() -> f64 {
     })
 }
 
-/// Runs all four suites at `sizes`, appending metrics, and returns the
+/// Runs every suite at `sizes`, appending metrics, and returns the
 /// single-thread optimized/reference ingest speedup measured within the pass.
 fn suite(sizes: &Sizes, metrics: &mut Vec<Metric>) -> f64 {
     let speedup = ingest_suite(sizes, metrics);
     trace_suite(sizes, metrics);
+    restore_suite(sizes, metrics);
     rebalance_suite(sizes, metrics);
     replay_suite(sizes, metrics);
     file_suite(sizes, metrics);
@@ -305,6 +316,144 @@ fn trace_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
         byte_basis: ByteBasis::LogicalPreDedup,
         headline: true,
     });
+}
+
+/// Restore configuration: the ingest CDC parameters with small containers, so
+/// each restored file spans many sealed containers and the planner's
+/// per-container batching has real extents to coalesce.  `file_root` switches
+/// to the real-file backend (durable, fsynced containers on disk).
+fn restore_config(file_root: Option<&std::path::Path>) -> SigmaConfig {
+    let mut builder = SigmaConfig::builder()
+        .parallelism(1)
+        .chunker(ingest_chunker_params())
+        .super_chunk_size(64 * 1024)
+        .container_capacity(256 * 1024);
+    if let Some(root) = file_root {
+        builder = builder.file_storage(root);
+    }
+    builder.build().expect("valid bench config")
+}
+
+/// Backs up the restore payload set (two overlapping versions per stream, so
+/// files share containers) and returns `(file_id, expected_bytes)` pairs.
+fn restore_dataset(cluster: &Arc<DedupCluster>, sizes: &Sizes) -> Vec<(u64, Vec<u8>)> {
+    let mut files = Vec::new();
+    for stream in 0..sizes.restore_streams {
+        let client = BackupClient::new(cluster.clone(), stream);
+        for (name, data) in versioned_payloads(VersionedPayloadParams {
+            seed: 0x4E57 + stream,
+            versions: 2,
+            version_size: sizes.restore_stream_bytes,
+            mutation_rate: 0.05,
+        }) {
+            let report = client
+                .backup_bytes(&format!("u{stream}/{name}"), &data)
+                .expect("payload backup cannot fail");
+            files.push((report.file_id, data));
+        }
+    }
+    cluster.flush();
+    files
+}
+
+/// Restores every file once — through the planned pipeline or the serial
+/// per-chunk reference — and returns logical-restored MB/s.  Outputs are
+/// verified byte-for-byte *after* the clock stops.
+fn timed_restore(cluster: &DedupCluster, files: &[(u64, Vec<u8>)], pipelined: bool) -> f64 {
+    let total: u64 = files.iter().map(|(_, data)| data.len() as u64).sum();
+    let mut restored = Vec::with_capacity(files.len());
+    let sw = Stopwatch::start();
+    for (file_id, _) in files {
+        let bytes = if pipelined {
+            cluster
+                .restore_file_pipelined(*file_id, 1)
+                .expect("restore cannot fail in bench")
+                .0
+        } else {
+            cluster
+                .restore_file_reference(*file_id)
+                .expect("restore cannot fail in bench")
+        };
+        restored.push(bytes);
+    }
+    let tp = sw.stop(total);
+    for ((file_id, expected), got) in files.iter().zip(&restored) {
+        assert!(got == expected, "restore corrupted file {file_id}");
+    }
+    tp.mb_per_sec()
+}
+
+/// Cold-cache restore throughput: the planned pipeline (batched container
+/// reads, read cache, single-copy assembly) against the preserved serial
+/// per-chunk reference, in the same process on identical data — the restore
+/// analogue of the ingest reference comparison.  Every rep rebuilds the
+/// cluster so the pipeline's container read cache starts cold; the reference
+/// path never touches that cache, so measuring it first steals nothing from
+/// the pipelined pass.  Single worker (`_t1`) for the same reason the ingest
+/// headline is single-threaded: fan-out scaling depends on host core count
+/// and lives in the `restore_throughput` criterion target instead.
+fn restore_suite(sizes: &Sizes, metrics: &mut Vec<Metric>) {
+    let mut mem_reference = (0.0f64, 0u64);
+    let mut mem_pipelined = (0.0f64, 0u64);
+    let mut file_reference = (0.0f64, 0u64);
+    let mut file_pipelined = (0.0f64, 0u64);
+    for _ in 0..sizes.reps {
+        let cluster = Arc::new(DedupCluster::with_similarity_router(
+            2,
+            restore_config(None),
+        ));
+        let files = restore_dataset(&cluster, sizes);
+        let total: u64 = files.iter().map(|(_, data)| data.len() as u64).sum();
+        let mbps = timed_restore(&cluster, &files, false);
+        if mbps > mem_reference.0 {
+            mem_reference = (mbps, total);
+        }
+        let mbps = timed_restore(&cluster, &files, true);
+        if mbps > mem_pipelined.0 {
+            mem_pipelined = (mbps, total);
+        }
+
+        // Real-file backend: a fresh directory per rep, so the serial
+        // reference issues one backend read per chunk off actual container
+        // files and the pipeline's coalesced runs replace those seeks.
+        let root = file_scratch();
+        let cluster = Arc::new(DedupCluster::with_similarity_router(
+            2,
+            restore_config(Some(&root)),
+        ));
+        let files = restore_dataset(&cluster, sizes);
+        let mbps = timed_restore(&cluster, &files, false);
+        if mbps > file_reference.0 {
+            file_reference = (mbps, total);
+        }
+        let mbps = timed_restore(&cluster, &files, true);
+        if mbps > file_pipelined.0 {
+            file_pipelined = (mbps, total);
+        }
+        std::fs::remove_dir_all(&root).expect("scratch dir is removable");
+    }
+    for (name, (mbps, bytes), headline) in [
+        ("restore_mem_reference_t1", mem_reference, false),
+        ("restore_mem_t1", mem_pipelined, true),
+        ("restore_file_reference_t1", file_reference, false),
+        ("restore_file_t1", file_pipelined, true),
+    ] {
+        eprintln!("{}{name}: {mbps:.1} MB/s", sizes.prefix);
+        metrics.push(Metric {
+            name: format!("{}{name}", sizes.prefix),
+            mbps,
+            bytes,
+            byte_basis: ByteBasis::LogicalRestored,
+            headline,
+        });
+    }
+    if file_reference.0 > 0.0 {
+        eprintln!(
+            "{}restore file-backend speedup vs reference: {:.2}x",
+            sizes.prefix,
+            file_pipelined.0 / file_reference.0
+        );
+    }
 }
 
 fn rebalance_config() -> SigmaConfig {
@@ -625,6 +774,10 @@ mod tests {
             "quick/ingest_payload_t4",
             "quick/ingest_payload_reference_t1",
             "quick/ingest_trace_t1",
+            "quick/restore_mem_reference_t1",
+            "quick/restore_mem_t1",
+            "quick/restore_file_reference_t1",
+            "quick/restore_file_t1",
             "quick/rebalance_join",
             "quick/rebalance_leave",
             "quick/replay_raw",

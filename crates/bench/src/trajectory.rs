@@ -22,6 +22,10 @@
 //!   a rebalance migrated.
 //! * [`PhysicalReclaimed`](ByteBasis::PhysicalReclaimed) — post-dedup bytes a
 //!   GC sweep returned to free space.
+//! * [`LogicalRestored`](ByteBasis::LogicalRestored) — bytes handed back to the
+//!   client by a restore.  Backend reads may exceed this (coalesced extents
+//!   over-read) or undercut it (cache hits); the logical figure is the one a
+//!   recovery-time objective is sized against.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -40,6 +44,8 @@ pub enum ByteBasis {
     PhysicalMoved,
     /// Post-dedup bytes reclaimed by a GC sweep.
     PhysicalReclaimed,
+    /// Client-visible logical bytes handed back by a restore.
+    LogicalRestored,
 }
 
 impl ByteBasis {
@@ -50,6 +56,7 @@ impl ByteBasis {
             ByteBasis::JournalBytes => "journal-bytes",
             ByteBasis::PhysicalMoved => "physical-moved",
             ByteBasis::PhysicalReclaimed => "physical-reclaimed",
+            ByteBasis::LogicalRestored => "logical-restored",
         }
     }
 
@@ -60,6 +67,7 @@ impl ByteBasis {
             "journal-bytes" => ByteBasis::JournalBytes,
             "physical-moved" => ByteBasis::PhysicalMoved,
             "physical-reclaimed" => ByteBasis::PhysicalReclaimed,
+            "logical-restored" => ByteBasis::LogicalRestored,
             _ => return None,
         })
     }
@@ -586,6 +594,7 @@ mod tests {
             ByteBasis::JournalBytes,
             ByteBasis::PhysicalMoved,
             ByteBasis::PhysicalReclaimed,
+            ByteBasis::LogicalRestored,
         ] {
             assert_eq!(ByteBasis::from_str_opt(basis.as_str()), Some(basis));
         }

@@ -258,6 +258,13 @@ impl DedupCluster {
         self.membership.read().directory.get(&id).cloned()
     }
 
+    /// Number of addressable nodes, active *and* retired — the tombstone-chain
+    /// hop cap shared by [`read_chunk`](Self::read_chunk) and the restore
+    /// planner (a chain can visit each addressable node at most once).
+    pub(crate) fn directory_len(&self) -> usize {
+        self.membership.read().directory.len()
+    }
+
     /// The routing scheme's name.
     pub fn router_name(&self) -> String {
         self.router.name()
@@ -460,6 +467,15 @@ impl DedupCluster {
 
     /// Reconstructs a previously backed-up file from its recipe.
     ///
+    /// Runs the container-aware restore pipeline (see [`crate::RestoreReport`]):
+    /// entries are grouped per `(node, container)`, extents coalesce into
+    /// batched backend reads served through the container read cache, and
+    /// groups fan out [`SigmaConfig::restore_parallelism`] wide, each decoding
+    /// straight into the preallocated output.  The output is byte-identical to
+    /// [`restore_file_reference`](Self::restore_file_reference), which remains
+    /// the behavioural arbiter (and the fallback whenever a plan cannot
+    /// represent the recipe).
+    ///
     /// # Errors
     ///
     /// Returns [`SigmaError::FileNotFound`] for unknown file IDs and propagates chunk
@@ -468,6 +484,22 @@ impl DedupCluster {
     /// end-to-end guard that a stored chunk payload shrinking or growing out
     /// from under its recipe can never surface as a silently corrupt restore.
     pub fn restore_file(&self, file_id: FileId) -> Result<Vec<u8>> {
+        self.restore_file_with_report(file_id)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// The serial per-chunk restore the pipeline is measured against: one
+    /// [`read_chunk`](Self::read_chunk) per recipe entry, in recipe order,
+    /// copying each payload twice (into its own `Vec`, then into the output).
+    ///
+    /// Kept as the reference implementation — like `sigma_chunking::reference`
+    /// — both for the equivalence proptests and as the fallback arbiter when
+    /// the planned pipeline meets a recipe it cannot represent.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`restore_file`](Self::restore_file).
+    pub fn restore_file_reference(&self, file_id: FileId) -> Result<Vec<u8>> {
         let recipe = self
             .director
             .recipe(file_id)

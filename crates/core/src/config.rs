@@ -76,6 +76,23 @@ pub struct SigmaConfig {
     /// Always read the knob through [`SigmaConfig::effective_parallelism`], which
     /// performs both the `0` resolution and the clamp.
     pub parallelism: usize,
+    /// Worker threads used by the restore pipeline's per-container fan-out,
+    /// mirroring [`parallelism`](Self::parallelism) on the read side:
+    ///
+    /// * `1` (the default) runs the planned restore on the caller's thread —
+    ///   still batched, cached and copy-eliminated, just not fanned out;
+    /// * `0` means "one worker per available CPU core";
+    /// * other values are clamped to [`MAX_PARALLELISM`].
+    ///
+    /// Read it through [`SigmaConfig::effective_restore_parallelism`].
+    pub restore_parallelism: usize,
+    /// Per-node byte budget for the container read cache serving restores on
+    /// persistent backends ([`BackendKind::File`]): recently-read container
+    /// data sections stay resident so repeat visits skip the medium entirely.
+    /// `0` disables the cache.  Volatile backends never populate it (their data
+    /// sections already live in RAM).  Default: 64 MB (sixteen default-sized
+    /// containers).
+    pub restore_cache_bytes: u64,
     /// Whether nodes keep a write-ahead journal so they can be crash-recovered
     /// (see [`DedupNode::recover`](crate::DedupNode::recover) and
     /// [`DedupCluster::restart_node`](crate::DedupCluster::restart_node)).
@@ -128,6 +145,8 @@ impl Default for SigmaConfig {
             chunk_index_fallback: true,
             capacity_balancing: true,
             parallelism: 1,
+            restore_parallelism: 1,
+            restore_cache_bytes: 64 << 20,
             durability: false,
             disk_params: DiskParams::default(),
             storage_backend: BackendKind::SimDisk,
@@ -158,6 +177,17 @@ impl SigmaConfig {
     /// `usize::MAX` that would otherwise try to spawn one thread per address).
     pub fn effective_parallelism(&self) -> usize {
         match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n.min(MAX_PARALLELISM),
+        }
+    }
+
+    /// The resolved restore worker count, with the same `0` resolution and
+    /// [`MAX_PARALLELISM`] clamp as [`effective_parallelism`](Self::effective_parallelism).
+    pub fn effective_restore_parallelism(&self) -> usize {
+        match self.restore_parallelism {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -334,6 +364,19 @@ impl SigmaConfigBuilder {
         self
     }
 
+    /// Sets the restore worker-thread count (`0` = one per CPU core, `1` =
+    /// serial; values above [`MAX_PARALLELISM`] are clamped at resolution time).
+    pub fn restore_parallelism(mut self, threads: usize) -> Self {
+        self.config.restore_parallelism = threads;
+        self
+    }
+
+    /// Sets the per-node container read-cache budget in bytes (`0` disables).
+    pub fn restore_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.restore_cache_bytes = bytes;
+        self
+    }
+
     /// Enables or disables the per-node write-ahead journal (crash recovery).
     pub fn durability(mut self, enabled: bool) -> Self {
         self.config.durability = enabled;
@@ -454,6 +497,33 @@ mod tests {
         assert!(auto.effective_parallelism() >= 1, "0 resolves to CPU count");
         let eight = SigmaConfig::builder().parallelism(8).build().unwrap();
         assert_eq!(eight.effective_parallelism(), 8);
+    }
+
+    #[test]
+    fn restore_knobs_resolve_and_default() {
+        let c = SigmaConfig::default();
+        assert_eq!(c.restore_parallelism, 1, "serial restore by default");
+        assert_eq!(c.effective_restore_parallelism(), 1);
+        assert_eq!(c.restore_cache_bytes, 64 << 20);
+        let auto = SigmaConfig::builder()
+            .restore_parallelism(0)
+            .build()
+            .unwrap();
+        assert!(auto.effective_restore_parallelism() >= 1);
+        let four = SigmaConfig::builder()
+            .restore_parallelism(4)
+            .restore_cache_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(four.effective_restore_parallelism(), 4);
+        assert_eq!(four.restore_cache_bytes, 1 << 20);
+        let absurd = SigmaConfig::builder()
+            .restore_parallelism(usize::MAX)
+            .build()
+            .unwrap();
+        assert_eq!(absurd.effective_restore_parallelism(), MAX_PARALLELISM);
+        let uncached = SigmaConfig::builder().restore_cache_bytes(0).build();
+        assert_eq!(uncached.unwrap().restore_cache_bytes, 0, "0 = disabled");
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod handprint;
 pub mod membership;
 mod node;
 pub mod pipeline;
+mod restore;
 mod routing;
 mod super_chunk;
 
@@ -78,6 +79,7 @@ pub use handprint::{jaccard, Handprint};
 pub use membership::{MoveReceipt, NodeMap, RebalanceReport, Rebalancer};
 pub use node::{DedupNode, NodeGcReport, NodeStats, RecoveryReport, SuperChunkReceipt};
 pub use pipeline::{IngestPipeline, StreamPayload};
+pub use restore::RestoreReport;
 pub use routing::{DataRouter, RoutingContext, RoutingDecision, SimilarityRouter};
 pub use super_chunk::{ChunkDescriptor, SuperChunk, SuperChunkBuilder};
 

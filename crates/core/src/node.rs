@@ -239,7 +239,9 @@ impl DedupNode {
         let journal = journaled.then(|| {
             Arc::new(Journal::with_backend(backend.clone()).expect("initialize journal object"))
         });
-        let mut store = ContainerStore::new(config.container_capacity).with_backend(backend);
+        let mut store = ContainerStore::new(config.container_capacity)
+            .with_backend(backend)
+            .with_read_cache_bytes(config.restore_cache_bytes);
         if let Some(journal) = &journal {
             store = store.with_journal(journal.clone());
         }
@@ -838,6 +840,92 @@ impl DedupNode {
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Resolves a fingerprint to its record extent for the planned restore
+    /// pipeline, with exactly [`read_chunk`](Self::read_chunk)'s error mapping
+    /// (including the tombstone hop into [`SigmaError::ChunkMigrated`]) but
+    /// without touching any payload.  The chunk-index lookup is charged
+    /// identically to the serial path's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read_chunk`](Self::read_chunk), except that a synthetic chunk
+    /// is not detected here — it still resolves to an extent, and surfaces as
+    /// [`SigmaError::PayloadUnavailable`] when the batched read rejects it.
+    pub fn plan_chunk_read(&self, fingerprint: &Fingerprint) -> Result<ChunkLocation> {
+        let location =
+            self.chunk_index
+                .lookup(fingerprint)
+                .ok_or_else(|| SigmaError::ChunkMissing {
+                    node: self.id,
+                    fingerprint: fingerprint.to_string(),
+                })?;
+        if self.store.contains_sealed(&location.container)
+            || self.store.contains_open(&location.container)
+        {
+            return Ok(location);
+        }
+        match self.forwarded_to(&location.container) {
+            Some(node) => Err(SigmaError::ChunkMigrated {
+                fingerprint: fingerprint.to_string(),
+                node,
+            }),
+            None => Err(SigmaError::ChunkMissing {
+                node: self.id,
+                fingerprint: fingerprint.to_string(),
+            }),
+        }
+    }
+
+    /// Reads a batch of chunk payloads out of one of this node's containers,
+    /// decoding each directly into its output slice — the per-container unit
+    /// of work of the restore pipeline (see
+    /// [`ContainerStore::read_chunks_batched`]).
+    ///
+    /// # Errors
+    ///
+    /// Maps storage errors exactly as [`read_chunk`](Self::read_chunk) does:
+    /// a synthetic chunk surfaces as [`SigmaError::PayloadUnavailable`], a
+    /// migrated-away container as [`SigmaError::ChunkMigrated`] (or
+    /// [`SigmaError::ChunkMissing`] when no tombstone points onward).  On error
+    /// the output slices are partially written; the pipeline falls back to the
+    /// serial path for the whole group.
+    pub fn read_chunks_batched(
+        &self,
+        container: &ContainerId,
+        fetches: &mut [sigma_storage::ChunkFetch<'_>],
+    ) -> Result<sigma_storage::BatchedReadStats> {
+        match self.store.read_chunks_batched(container, fetches) {
+            Ok(stats) => Ok(stats),
+            Err(sigma_storage::StorageError::ChunkNotInContainer { fingerprint, .. }) => {
+                Err(SigmaError::PayloadUnavailable { fingerprint })
+            }
+            Err(sigma_storage::StorageError::ContainerNotFound(cid)) => {
+                match self.forwarded_to(&cid) {
+                    Some(node) => Err(SigmaError::ChunkMigrated {
+                        fingerprint: fetches
+                            .first()
+                            .map(|f| f.fingerprint.to_string())
+                            .unwrap_or_default(),
+                        node,
+                    }),
+                    None => Err(SigmaError::ChunkMissing {
+                        node: self.id,
+                        fingerprint: fetches
+                            .first()
+                            .map(|f| f.fingerprint.to_string())
+                            .unwrap_or_default(),
+                    }),
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The container read cache's counters, `None` when caching is disabled.
+    pub fn read_cache_stats(&self) -> Option<sigma_storage::ReadCacheStats> {
+        self.store.read_cache_stats()
     }
 
     // ---- Garbage collection (used by `DedupCluster::collect_garbage`) ----

@@ -137,6 +137,10 @@ impl Default for CrashChurnConfig {
                 .super_chunk_size(64 * 1024)
                 .container_capacity(128 * 1024)
                 .durability(true)
+                // Post-recovery restore-verify runs the planned pipeline in
+                // parallel, covering batched reads against recovered and
+                // reconciled containers.
+                .restore_parallelism(2)
                 .build()
                 .expect("default crash-churn config is valid"),
         }

@@ -164,6 +164,23 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// `offset + len` — a durability bug, never a caller convenience.
     fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>>;
 
+    /// Reads exactly `out.len()` bytes at `offset` into `out`.
+    ///
+    /// The default goes through [`read_at`](Self::read_at) and copies; backends
+    /// that can fill a caller-provided buffer without the intermediate
+    /// allocation (the file backend's `read_exact`, the in-RAM backends' slice
+    /// copy) override it.  The restore path uses this to decode chunk payloads
+    /// straight into the preallocated output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`read_at`](Self::read_at).
+    fn read_at_into(&self, obj: StorageObject, offset: u64, out: &mut [u8]) -> Result<()> {
+        let bytes = self.read_at(obj, offset, out.len())?;
+        out.copy_from_slice(&bytes);
+        Ok(())
+    }
+
     /// Current length of the object in bytes, `None` when absent.
     fn object_len(&self, obj: StorageObject) -> Result<Option<u64>>;
 
@@ -272,6 +289,28 @@ impl StorageBackend for MemoryBackend {
         }
     }
 
+    fn read_at_into(&self, obj: StorageObject, offset: u64, out: &mut [u8]) -> Result<()> {
+        let objects = self.objects.lock();
+        let buf = objects
+            .get(&obj)
+            .ok_or_else(|| StorageError::Io(format!("{}: object absent", obj)))?;
+        let start = offset as usize;
+        let end = start.checked_add(out.len()).filter(|&e| e <= buf.len());
+        match end {
+            Some(end) => {
+                out.copy_from_slice(&buf[start..end]);
+                Ok(())
+            }
+            None => Err(StorageError::Io(format!(
+                "{}: read of {} bytes at offset {} past object end {}",
+                obj,
+                out.len(),
+                offset,
+                buf.len()
+            ))),
+        }
+    }
+
     fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
         Ok(self.objects.lock().get(&obj).map(|b| b.len() as u64))
     }
@@ -352,6 +391,10 @@ impl StorageBackend for SimDiskBackend {
 
     fn read_at(&self, obj: StorageObject, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.inner.read_at(obj, offset, len)
+    }
+
+    fn read_at_into(&self, obj: StorageObject, offset: u64, out: &mut [u8]) -> Result<()> {
+        self.inner.read_at_into(obj, offset, out)
     }
 
     fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
@@ -558,6 +601,25 @@ impl StorageBackend for FileBackend {
         Ok(buf)
     }
 
+    fn read_at_into(&self, obj: StorageObject, offset: u64, out: &mut [u8]) -> Result<()> {
+        let path = self.path(obj);
+        let mut file =
+            fs::File::open(&path).map_err(|e| io_err(&format!("open {}", path.display()), e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(&format!("seek {}", path.display()), e))?;
+        file.read_exact(out).map_err(|e| {
+            io_err(
+                &format!(
+                    "read {} bytes at {} from {}",
+                    out.len(),
+                    offset,
+                    path.display()
+                ),
+                e,
+            )
+        })
+    }
+
     fn object_len(&self, obj: StorageObject) -> Result<Option<u64>> {
         match fs::metadata(self.path(obj)) {
             Ok(meta) => Ok(Some(meta.len())),
@@ -674,6 +736,14 @@ mod tests {
             assert_eq!(backend.read_all(obj).unwrap(), b"hello world");
             assert_eq!(backend.read_at(obj, 6, 5).unwrap(), b"world");
             assert!(backend.read_at(obj, 6, 6).is_err(), "read past end errors");
+            let mut into = [0u8; 5];
+            backend.read_at_into(obj, 6, &mut into).unwrap();
+            assert_eq!(&into, b"world", "read_at_into fills the caller's buffer");
+            let mut past = [0u8; 6];
+            assert!(
+                backend.read_at_into(obj, 6, &mut past).is_err(),
+                "read_at_into past end errors"
+            );
             backend.truncate(obj, 5).unwrap();
             assert_eq!(backend.read_all(obj).unwrap(), b"hello");
             assert_eq!(backend.append(obj, b"!").unwrap(), 5);

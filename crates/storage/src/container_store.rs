@@ -16,6 +16,7 @@
 //! sealed-map; no path takes them in another order, which is what the concurrency
 //! stress suite exercises.
 
+use crate::read_cache::{ContainerReadCache, ReadCacheStats};
 use crate::{
     ChunkLocation, Container, ContainerBuilder, ContainerId, ContainerMeta, DiskModel, Journal,
     JournalRecord, MemoryBackend, Result, SimDiskBackend, StorageBackend, StorageError,
@@ -148,6 +149,10 @@ pub struct ContainerStore {
     /// scores the container and dropped with it.  Containers never scored (no GC
     /// ran yet) are absent.
     liveness: RwLock<HashMap<ContainerId, ContainerLiveness>>,
+    /// Bounded LRU of container data sections serving repeat restore reads on
+    /// persistent backends; `None` when disabled (the default, and always on
+    /// volatile backends, whose data sections already live in the sealed map).
+    read_cache: Option<ContainerReadCache>,
     sealed_containers: AtomicU64,
     stored_bytes: AtomicU64,
     stored_chunks: AtomicU64,
@@ -166,6 +171,41 @@ impl std::fmt::Debug for ContainerStore {
             .field("sealed", &self.sealed.read().len())
             .finish()
     }
+}
+
+/// Maximum gap (bytes) between two record extents that still coalesces them
+/// into one backend read: streaming a small skipped stretch is cheaper than
+/// paying a second seek + syscall.
+const COALESCE_GAP: usize = 64 * 1024;
+
+/// One chunk's worth of work for [`ContainerStore::read_chunks_batched`]: a
+/// record extent to read and the output slice to decode it into.  The caller
+/// resolves fingerprints to extents via the chunk index; `out.len()` is the
+/// record length.
+pub struct ChunkFetch<'a> {
+    /// Fingerprint the extent was resolved from (error reporting only).
+    pub fingerprint: Fingerprint,
+    /// Record offset within the container's data section.
+    pub offset: u32,
+    /// Destination slice, typically a window of the restore's preallocated
+    /// output buffer.
+    pub out: &'a mut [u8],
+}
+
+/// What one [`ContainerStore::read_chunks_batched`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchedReadStats {
+    /// Chunk payloads decoded.
+    pub chunks: u64,
+    /// Bytes actually read from the backend (0 on a cache hit or volatile
+    /// serve); divided into logical bytes this is the read amplification.
+    pub backend_bytes_read: u64,
+    /// Backend reads issued after coalescing (0 when served from RAM).
+    pub coalesced_runs: u64,
+    /// Batches served entirely from the container read cache.
+    pub cache_hits: u64,
+    /// Batches that had to read the backend with a cache attached.
+    pub cache_misses: u64,
 }
 
 /// Location information returned when a chunk is stored.
@@ -196,6 +236,7 @@ impl ContainerStore {
             sealed: RwLock::new(HashMap::new()),
             adopted: RwLock::new(HashMap::new()),
             liveness: RwLock::new(HashMap::new()),
+            read_cache: None,
             sealed_containers: AtomicU64::new(0),
             stored_bytes: AtomicU64::new(0),
             stored_chunks: AtomicU64::new(0),
@@ -241,6 +282,25 @@ impl ContainerStore {
     pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
         self.journal = Some(journal);
         self
+    }
+
+    /// Gives the restore path a [`ContainerReadCache`] bounded at
+    /// `capacity_bytes`; `0` disables caching.  Only persistent backends ever
+    /// populate it — volatile data sections already live in RAM.
+    pub fn with_read_cache_bytes(mut self, capacity_bytes: u64) -> Self {
+        self.read_cache = (capacity_bytes > 0).then(|| ContainerReadCache::new(capacity_bytes));
+        self
+    }
+
+    /// The read cache's counters and occupancy, `None` when caching is off.
+    pub fn read_cache_stats(&self) -> Option<ReadCacheStats> {
+        self.read_cache.as_ref().map(|c| c.stats())
+    }
+
+    fn invalidate_cached(&self, container: &ContainerId) {
+        if let Some(cache) = &self.read_cache {
+            cache.invalidate(container);
+        }
     }
 
     /// Per-container data capacity in bytes.
@@ -511,6 +571,11 @@ impl ContainerStore {
             }
         };
         if let Some(disk) = self.disk() {
+            // A metadata prefetch is a seek into the container object followed
+            // by a short stream of the metadata section: charge the seek via
+            // the random-read model instead of pretending the whole operation
+            // was one sequential transfer.
+            disk.record_random_read();
             disk.record_sequential_transfer(meta.serialized_size() as u64);
         }
         Ok(meta)
@@ -583,6 +648,207 @@ impl ContainerStore {
             disk.record_sequential_transfer(data.len() as u64);
         }
         Ok(data)
+    }
+
+    /// Reads a batch of chunk payloads out of **one** container, decoding each
+    /// directly into its caller-provided output slice (restore path).
+    ///
+    /// Where the serial [`read_chunk`](Self::read_chunk) issues one backend
+    /// read per chunk, this coalesces: on a volatile backend every payload is
+    /// copied out of the in-RAM data section under one sealed-map guard; on a
+    /// persistent backend adjacent/nearby record extents become one
+    /// [`read_at`](StorageBackend::read_at) per coalesced run — or, when a
+    /// [read cache](Self::with_read_cache_bytes) is attached and the section
+    /// fits its budget, one whole-section read that also fills the cache, with
+    /// repeat visits served from RAM.  Disk-model charging is identical to the
+    /// serial path (one sequential transfer per chunk), so simulated figures do
+    /// not shift because reads were batched.
+    ///
+    /// The caller resolves fingerprints to record extents first (via the chunk
+    /// index); each [`ChunkFetch`]'s `out` length is the record length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] if the container is unknown,
+    /// or [`StorageError::ChunkNotInContainer`] if any extent points past the
+    /// data section (a synthetic trace-driven chunk, which has no payload).
+    /// On error the output slices are in an unspecified partially-written
+    /// state; callers fall back to the serial path.
+    pub fn read_chunks_batched(
+        &self,
+        container: &ContainerId,
+        fetches: &mut [ChunkFetch<'_>],
+    ) -> Result<BatchedReadStats> {
+        if fetches.is_empty() {
+            return Ok(BatchedReadStats::default());
+        }
+        self.data_reads
+            .fetch_add(fetches.len() as u64, Ordering::Relaxed);
+        let mut stats = BatchedReadStats {
+            chunks: fetches.len() as u64,
+            ..BatchedReadStats::default()
+        };
+        // Sealed lookup first; as in read_chunk, the guard is dropped before
+        // the open-container fallback so the slot → sealed lock order of the
+        // store path is never inverted.
+        enum SealedBatch {
+            /// Volatile backend: every payload was copied out under the guard.
+            Served,
+            /// Persistent backend: extents validated; read off the object next.
+            Extents { data_len: usize },
+        }
+        let sealed = {
+            let map = self.sealed.read();
+            match map.get(container) {
+                None => None,
+                Some(c) => {
+                    for f in fetches.iter() {
+                        // Synthetic (trace-driven) chunks have no payload:
+                        // their records point past the real data section.
+                        if f.offset as usize + f.out.len() > c.data().len() {
+                            return Err(StorageError::ChunkNotInContainer {
+                                container: *container,
+                                fingerprint: f.fingerprint.to_string(),
+                            });
+                        }
+                    }
+                    if self.backend.persistent() {
+                        Some(SealedBatch::Extents {
+                            data_len: c.data().len(),
+                        })
+                    } else {
+                        for f in fetches.iter_mut() {
+                            let start = f.offset as usize;
+                            f.out.copy_from_slice(&c.data()[start..start + f.out.len()]);
+                        }
+                        Some(SealedBatch::Served)
+                    }
+                }
+            }
+        };
+        match sealed {
+            Some(SealedBatch::Served) => {}
+            Some(SealedBatch::Extents { data_len }) => {
+                self.read_extents_persistent(container, fetches, data_len, &mut stats)?;
+            }
+            None => {
+                let open = self
+                    .clone_open(container)
+                    .ok_or(StorageError::ContainerNotFound(*container))?;
+                for f in fetches.iter_mut() {
+                    let data = open
+                        .chunk_data(&f.fingerprint)
+                        .filter(|d| d.len() == f.out.len())
+                        .ok_or_else(|| StorageError::ChunkNotInContainer {
+                            container: *container,
+                            fingerprint: f.fingerprint.to_string(),
+                        })?;
+                    f.out.copy_from_slice(data);
+                }
+            }
+        }
+        if let Some(disk) = self.disk() {
+            // Chunk-for-chunk the same charge as the serial read path: the
+            // simulated figures must not shift because reads were batched.
+            for f in fetches.iter() {
+                disk.record_sequential_transfer(f.out.len() as u64);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The persistent-backend arm of [`read_chunks_batched`]: cache, then
+    /// whole-section readahead, then coalesced extent runs.
+    ///
+    /// [`read_chunks_batched`]: Self::read_chunks_batched
+    fn read_extents_persistent(
+        &self,
+        container: &ContainerId,
+        fetches: &mut [ChunkFetch<'_>],
+        data_len: usize,
+        stats: &mut BatchedReadStats,
+    ) -> Result<()> {
+        let obj = StorageObject::Container(*container);
+        if let Some(cache) = &self.read_cache {
+            if let Some(section) = cache.get(container) {
+                if section.len() == data_len {
+                    stats.cache_hits += 1;
+                    for f in fetches.iter_mut() {
+                        let start = f.offset as usize;
+                        f.out.copy_from_slice(&section[start..start + f.out.len()]);
+                    }
+                    return Ok(());
+                }
+                // A resident section of the wrong length can only be stale —
+                // never serve it.
+                cache.invalidate(container);
+            }
+            stats.cache_misses += 1;
+            if data_len as u64 <= cache.capacity_bytes() {
+                // Read the whole data section once: restores revisit
+                // containers, so the readahead doubles as the cache fill.
+                let section: Arc<[u8]> = self
+                    .backend
+                    .read_at(obj, CONTAINER_BLOB_DATA_OFFSET as u64, data_len)?
+                    .into();
+                stats.backend_bytes_read += data_len as u64;
+                stats.coalesced_runs += 1;
+                for f in fetches.iter_mut() {
+                    let start = f.offset as usize;
+                    f.out.copy_from_slice(&section[start..start + f.out.len()]);
+                }
+                cache.insert(*container, section);
+                return Ok(());
+            }
+            // Section bigger than the whole cache budget: fall through to
+            // plain coalesced runs without caching.
+        }
+        // Walk the extents in offset order, coalescing neighbours whose gap is
+        // at most COALESCE_GAP into one backend read per run.
+        let mut order: Vec<usize> = (0..fetches.len()).collect();
+        order.sort_unstable_by_key(|&i| fetches[i].offset);
+        let mut next = 0;
+        while next < order.len() {
+            let mut run = vec![order[next]];
+            let run_start = fetches[order[next]].offset as usize;
+            let mut run_end = run_start + fetches[order[next]].out.len();
+            next += 1;
+            while next < order.len() {
+                let idx = order[next];
+                let start = fetches[idx].offset as usize;
+                if start > run_end + COALESCE_GAP {
+                    break;
+                }
+                run_end = run_end.max(start + fetches[idx].out.len());
+                run.push(idx);
+                next += 1;
+            }
+            let run_len = run_end - run_start;
+            if run.len() == 1 {
+                // A lone extent reads straight into its output slice — no
+                // intermediate buffer at all.
+                let f = &mut fetches[run[0]];
+                self.backend.read_at_into(
+                    obj,
+                    (CONTAINER_BLOB_DATA_OFFSET + run_start) as u64,
+                    &mut f.out[..],
+                )?;
+            } else {
+                let buf = self.backend.read_at(
+                    obj,
+                    (CONTAINER_BLOB_DATA_OFFSET + run_start) as u64,
+                    run_len,
+                )?;
+                for &idx in &run {
+                    let f = &mut fetches[idx];
+                    let start = f.offset as usize - run_start;
+                    f.out.copy_from_slice(&buf[start..start + f.out.len()]);
+                }
+            }
+            stats.backend_bytes_read += run_len as u64;
+            stats.coalesced_runs += 1;
+        }
+        Ok(())
     }
 
     /// Identifiers of every sealed container, sorted ascending.
@@ -776,6 +1042,7 @@ impl ContainerStore {
     /// subtracting its bytes and chunks from this store's accounting.
     pub fn remove_sealed(&self, container: &ContainerId) -> Option<Container> {
         let removed = self.sealed.write().remove(container)?;
+        self.invalidate_cached(container);
         if self.backend.persistent() {
             // Best-effort: the journal record preceding the removal is the
             // durable authority; a leftover object is swept by the next
@@ -946,6 +1213,7 @@ impl ContainerStore {
         sealed.remove(victim);
         sealed.insert(new_id, replacement);
         drop(sealed);
+        self.invalidate_cached(victim);
         self.liveness.write().remove(victim);
         self.stored_bytes.fetch_sub(reclaimed, Ordering::Relaxed);
         self.stored_chunks
@@ -1447,6 +1715,201 @@ mod tests {
                 .count(),
             6
         );
+    }
+
+    /// Runs `read_chunks_batched` for `chunks` against `store`, asserting every
+    /// payload matches, and returns the stats.
+    fn batched_roundtrip(
+        store: &ContainerStore,
+        container: &ContainerId,
+        chunks: &[(Fingerprint, Vec<u8>, u32)],
+    ) -> BatchedReadStats {
+        let total: usize = chunks.iter().map(|(_, d, _)| d.len()).sum();
+        let mut out = vec![0u8; total];
+        let mut fetches = Vec::new();
+        let mut rest = out.as_mut_slice();
+        for (fp, data, offset) in chunks {
+            let (head, tail) = rest.split_at_mut(data.len());
+            fetches.push(ChunkFetch {
+                fingerprint: *fp,
+                offset: *offset,
+                out: head,
+            });
+            rest = tail;
+        }
+        let stats = store.read_chunks_batched(container, &mut fetches).unwrap();
+        drop(fetches);
+        let expect: Vec<u8> = chunks.iter().flat_map(|(_, d, _)| d.clone()).collect();
+        assert_eq!(out, expect, "batched payloads must match what was stored");
+        stats
+    }
+
+    #[test]
+    fn batched_read_matches_serial_on_volatile_store() {
+        let store = ContainerStore::new(4096);
+        let mut chunks = Vec::new();
+        for i in 0..5u64 {
+            let (fp, data) = payload(i, 100);
+            let loc = store.store_chunk(0, fp, &data).unwrap();
+            chunks.push((fp, data, loc.offset));
+        }
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        // Out-of-order and repeated extents must both decode correctly.
+        chunks.swap(0, 3);
+        let repeat = chunks[1].clone();
+        chunks.push(repeat);
+        let stats = batched_roundtrip(&store, &cid, &chunks);
+        assert_eq!(stats.chunks, 6);
+        assert_eq!(stats.coalesced_runs, 0, "volatile serve issues no reads");
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            0,
+            "no cache attached"
+        );
+    }
+
+    #[test]
+    fn batched_read_coalesces_file_backend_extents() {
+        let root = std::env::temp_dir().join(format!(
+            "sigma-batched-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let backend = Arc::new(crate::FileBackend::open(&root).unwrap());
+        let store = ContainerStore::new(4096).with_backend(backend);
+        let mut chunks = Vec::new();
+        for i in 0..6u64 {
+            let (fp, data) = payload(i, 100);
+            let loc = store.store_chunk(0, fp, &data).unwrap();
+            chunks.push((fp, data, loc.offset));
+        }
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        let stats = batched_roundtrip(&store, &cid, &chunks);
+        assert_eq!(stats.chunks, 6);
+        assert_eq!(
+            stats.coalesced_runs, 1,
+            "six adjacent extents coalesce into one backend read"
+        );
+        assert_eq!(stats.backend_bytes_read, 600);
+        // A sparse subset (gaps of 100 bytes) still coalesces: the gap is far
+        // below COALESCE_GAP.
+        let sparse: Vec<_> = chunks.iter().step_by(2).cloned().collect();
+        let stats = batched_roundtrip(&store, &cid, &sparse);
+        assert_eq!(stats.coalesced_runs, 1);
+        assert_eq!(stats.backend_bytes_read, 500, "reads through the gaps");
+        // A lone extent reads exactly its own bytes.
+        let one = vec![chunks[2].clone()];
+        let stats = batched_roundtrip(&store, &cid, &one);
+        assert_eq!((stats.coalesced_runs, stats.backend_bytes_read), (1, 100));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn batched_read_serves_repeats_from_the_cache_until_invalidated() {
+        let root = std::env::temp_dir().join(format!(
+            "sigma-cached-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let backend = Arc::new(crate::FileBackend::open(&root).unwrap());
+        let store = ContainerStore::new(4096)
+            .with_backend(backend)
+            .with_read_cache_bytes(1 << 20);
+        let mut chunks = Vec::new();
+        for i in 0..4u64 {
+            let (fp, data) = payload(i, 100);
+            let loc = store.store_chunk(0, fp, &data).unwrap();
+            chunks.push((fp, data, loc.offset));
+        }
+        store.flush().unwrap();
+        let cid = store.sealed_container_ids()[0];
+        let first = batched_roundtrip(&store, &cid, &chunks);
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+        assert_eq!(
+            first.backend_bytes_read, 400,
+            "miss reads the whole data section once"
+        );
+        let second = batched_roundtrip(&store, &cid, &chunks);
+        assert_eq!((second.cache_hits, second.cache_misses), (1, 0));
+        assert_eq!(second.backend_bytes_read, 0, "repeat visit never hits disk");
+        let cache = store.read_cache_stats().expect("cache attached");
+        assert_eq!(cache.resident_containers, 1);
+        assert_eq!(cache.resident_bytes, 400);
+        // GC-compacting the container must invalidate its cached section.
+        let live: std::collections::HashSet<Fingerprint> =
+            [chunks[0].0, chunks[1].0].into_iter().collect();
+        let outcome = store
+            .compact_container(&cid, &live, &[])
+            .unwrap()
+            .expect("half-dead container compacts");
+        assert_eq!(
+            store.read_cache_stats().unwrap().resident_containers,
+            0,
+            "victim's section dropped"
+        );
+        // Live chunks re-read correctly from the replacement at new offsets.
+        let relocated: Vec<_> = outcome
+            .live_records
+            .iter()
+            .map(|r| {
+                let data = chunks
+                    .iter()
+                    .find(|(fp, _, _)| *fp == r.fingerprint)
+                    .unwrap()
+                    .1
+                    .clone();
+                (r.fingerprint, data, r.offset)
+            })
+            .collect();
+        batched_roundtrip(&store, &outcome.replacement, &relocated);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn batched_read_rejects_synthetic_chunks_and_unknown_containers() {
+        let store = ContainerStore::new(4096);
+        let (fp, _) = payload(1, 1);
+        let loc = store.store_chunk_synthetic(0, fp, 64).unwrap();
+        store.flush().unwrap();
+        let mut out = vec![0u8; 64];
+        let mut fetches = [ChunkFetch {
+            fingerprint: fp,
+            offset: loc.offset,
+            out: &mut out,
+        }];
+        assert!(matches!(
+            store.read_chunks_batched(&loc.container, &mut fetches),
+            Err(StorageError::ChunkNotInContainer { .. })
+        ));
+        let mut fetches = [ChunkFetch {
+            fingerprint: fp,
+            offset: 0,
+            out: &mut out,
+        }];
+        assert!(matches!(
+            store.read_chunks_batched(&ContainerId::new(999), &mut fetches),
+            Err(StorageError::ContainerNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn batched_read_of_a_still_open_container_serves_from_memory() {
+        let store = ContainerStore::new(1_000_000);
+        let (fp, data) = payload(1, 128);
+        let loc = store.store_chunk(0, fp, &data).unwrap();
+        // Not flushed: the container is still open.
+        let chunks = vec![(fp, data, loc.offset)];
+        let stats = batched_roundtrip(&store, &loc.container, &chunks);
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.backend_bytes_read, 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod disk;
 mod error;
 mod fingerprint_cache;
 mod journal;
+mod read_cache;
 mod similarity_index;
 
 pub use backend::{
@@ -40,13 +41,14 @@ pub use container::{
     CONTAINER_BLOB_DATA_OFFSET,
 };
 pub use container_store::{
-    CompactionOutcome, ContainerLiveness, ContainerStore, ContainerStoreStats, StoredChunk,
-    StreamId, DEFAULT_CONTAINER_CAPACITY,
+    BatchedReadStats, ChunkFetch, CompactionOutcome, ContainerLiveness, ContainerStore,
+    ContainerStoreStats, StoredChunk, StreamId, DEFAULT_CONTAINER_CAPACITY,
 };
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use error::StorageError;
 pub use fingerprint_cache::{CacheStats, FingerprintCache};
 pub use journal::{CrashMode, Journal, JournalRecord, NodeSnapshot, ReplaySummary};
+pub use read_cache::{ContainerReadCache, ReadCacheStats};
 pub use similarity_index::{SimilarityIndex, SimilarityIndexStats};
 
 /// Convenient result alias for storage operations.

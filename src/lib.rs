@@ -60,8 +60,8 @@ pub use sigma_core::ServiceCode;
 pub use sigma_core::{
     BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director, FileBackupReport,
     FileRecipe, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap, RebalanceReport,
-    Rebalancer, RecipeEntry, RecoveryReport, SigmaConfig, SigmaError, SimilarityRouter,
-    StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
+    Rebalancer, RecipeEntry, RecoveryReport, RestoreReport, SigmaConfig, SigmaError,
+    SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
 };
 pub use sigma_hashkit::{Digest, Fingerprint, FingerprintAlgorithm, Md5, Sha1};
 pub use sigma_service::{
@@ -92,8 +92,9 @@ pub mod prelude {
     pub use sigma_core::{
         BackupClient, ChunkDescriptor, DataRouter, DedupCluster, DedupNode, Director,
         FileBackupReport, FileRecipe, GcReport, Handprint, IngestPipeline, NodeGcReport, NodeMap,
-        RebalanceReport, Rebalancer, RecipeEntry, RecoveryReport, ServiceCode, SigmaConfig,
-        SigmaError, SimilarityRouter, StreamBatch, StreamPayload, SuperChunk, SuperChunkBuilder,
+        RebalanceReport, Rebalancer, RecipeEntry, RecoveryReport, RestoreReport, ServiceCode,
+        SigmaConfig, SigmaError, SimilarityRouter, StreamBatch, StreamPayload, SuperChunk,
+        SuperChunkBuilder,
     };
 
     // Hashes and chunking.
